@@ -1,0 +1,106 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section: Table 1, Figures 4–7 (Q1), 9–16 (Q2 unloaded and
+// under I/O interference), 17 (Q3), 18 (Q4), 19–20 (Q5), plus the <1%
+// overhead measurement. Series are written as CSV files and rendered as
+// ASCII plots on stdout.
+//
+// Usage:
+//
+//	experiments [-scale 0.02] [-outdir results] [-only fig09] [-quiet]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"progressdb/internal/harness"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.02, "workload scale (1.0 = the paper's Table 1)")
+	seed := flag.Int64("seed", 1, "data generator seed")
+	outdir := flag.String("outdir", "results", "directory for CSV output (empty = no CSV)")
+	only := flag.String("only", "", "run a single experiment id (e.g. fig09)")
+	quiet := flag.Bool("quiet", false, "skip ASCII plots")
+	width := flag.Int("width", 72, "ASCII plot width")
+	height := flag.Int("height", 14, "ASCII plot height")
+	flag.Parse()
+
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			die(err)
+		}
+	}
+
+	runner := harness.Runner{Scale: *scale, Seed: *seed}
+	sess := harness.NewSession(runner)
+
+	// Table 1.
+	if *only == "" || *only == "table1" {
+		tbl, err := runner.Table1()
+		if err != nil {
+			die(err)
+		}
+		fmt.Println("=== Table 1. Test data set ===")
+		fmt.Print(tbl)
+		fmt.Println()
+		if *outdir != "" {
+			if err := os.WriteFile(filepath.Join(*outdir, "table1.txt"), []byte(tbl), 0o644); err != nil {
+				die(err)
+			}
+		}
+	}
+
+	for _, e := range harness.Experiments {
+		if *only != "" && e.ID != *only {
+			continue
+		}
+		fig, err := sess.Figure(e)
+		if err != nil {
+			die(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		res, err := sess.Result(e)
+		if err != nil {
+			die(err)
+		}
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		fmt.Printf("query Q%d, %s, actual duration %.0f vsec, initial estimate %.0f U, exact cost %.0f U\n",
+			e.Query, res.Scenario, res.ActualSeconds, res.InitialEstU, res.ExactCostU)
+		if !*quiet {
+			fmt.Print(fig.ASCII(*width, *height))
+		}
+		fmt.Println()
+		if *outdir != "" {
+			path := filepath.Join(*outdir, e.ID+".csv")
+			if err := os.WriteFile(path, []byte(fig.CSV()), 0o644); err != nil {
+				die(err)
+			}
+		}
+	}
+
+	// Overhead (the paper's "<1% penalty" claim). Real wall time, so the
+	// exact figure is machine-dependent.
+	if *only == "" || *only == "overhead" {
+		withInd, withoutInd, err := runner.Overhead(2, 3)
+		if err != nil {
+			die(err)
+		}
+		pct := 100 * (withInd - withoutInd) / withoutInd
+		fmt.Println("=== Overhead (paper claims < 1%) ===")
+		fmt.Printf("Q2 x3, wall time with indicator %.4fs, without %.4fs, overhead %.2f%%\n",
+			withInd, withoutInd, pct)
+		if *outdir != "" {
+			line := fmt.Sprintf("with,without,overhead_pct\n%.6f,%.6f,%.3f\n", withInd, withoutInd, pct)
+			if err := os.WriteFile(filepath.Join(*outdir, "overhead.csv"), []byte(line), 0o644); err != nil {
+				die(err)
+			}
+		}
+	}
+}

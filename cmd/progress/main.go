@@ -1,0 +1,95 @@
+// Command progress runs one query over the paper's workload with a live
+// progress indicator — the text form of the paper's Figure 2 interface.
+//
+// Usage:
+//
+//	progress [-scale 0.02] [-q 2]            # run paper query Q2
+//	progress [-scale 0.02] -sql "select ..." # run arbitrary SPJ SQL
+//	progress -q 2 -explain                   # show the plan and segments
+//	progress -q 2 -io-at 190 -io-for 695     # start a 4x I/O load at t=190
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"progressdb"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.02, "workload scale")
+	q := flag.Int("q", 2, "paper query number (1-5), ignored when -sql is set")
+	sqlFlag := flag.String("sql", "", "SQL to run instead of a paper query")
+	explain := flag.Bool("explain", false, "print the plan and segment decomposition, then exit")
+	workMem := flag.Int("workmem", 16, "work_mem in 8KiB pages (small values force Grace hash joins)")
+	ioAt := flag.Float64("io-at", -1, "start 4x I/O interference at this virtual second")
+	ioFor := flag.Float64("io-for", 600, "I/O interference duration")
+	cpuAt := flag.Float64("cpu-at", -1, "start 4x CPU interference at this virtual second")
+	cpuFor := flag.Float64("cpu-for", 600, "CPU interference duration")
+	update := flag.Float64("update", 10, "progress refresh period in virtual seconds")
+	flag.Parse()
+
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "progress:", err)
+		os.Exit(1)
+	}
+
+	db := progressdb.Open(progressdb.Config{
+		WorkMemPages:          *workMem,
+		ProgressUpdateSeconds: *update,
+		// Calibrate virtual time to full-scale durations (see DESIGN.md).
+		SeqPageCost:  0.8e-3 / *scale,
+		RandPageCost: 6.4e-3 / *scale,
+	})
+	sql := *sqlFlag
+	if sql == "" {
+		var err error
+		sql, err = progressdb.PaperQuery(*q)
+		if err != nil {
+			die(err)
+		}
+	}
+	fmt.Printf("loading paper workload at scale %g ...\n", *scale)
+	if err := db.LoadPaperWorkload(*scale, *q == 3 && *sqlFlag == ""); err != nil {
+		die(err)
+	}
+	fmt.Printf("SQL: %s\n\n", sql)
+
+	if *explain {
+		ex, err := db.Explain(sql)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(ex)
+		return
+	}
+
+	if *ioAt >= 0 {
+		if err := db.SetInterference("io", db.Now()+*ioAt, db.Now()+*ioAt+*ioFor, 4); err != nil {
+			die(err)
+		}
+	} else if *cpuAt >= 0 {
+		if err := db.SetInterference("cpu", db.Now()+*cpuAt, db.Now()+*cpuAt+*cpuFor, 4); err != nil {
+			die(err)
+		}
+	}
+
+	if err := db.ColdRestart(); err != nil {
+		die(err)
+	}
+	name := fmt.Sprintf("Query %d", *q)
+	if *sqlFlag != "" {
+		name = "Query"
+	}
+	res, err := db.ExecDiscard(sql, func(r progressdb.Report) {
+		fmt.Println("----------------------------------------")
+		fmt.Print(progressdb.FormatReport(name, r))
+	})
+	if err != nil {
+		die(err)
+	}
+	fmt.Println("========================================")
+	fmt.Printf("done: %d progress refreshes over %.1f virtual seconds\n",
+		len(res.History), res.VirtualSeconds)
+}

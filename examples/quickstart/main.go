@@ -1,0 +1,68 @@
+// Quickstart: create tables, load rows, and run a join with a live
+// progress indicator (the paper's Figure 2 display).
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"progressdb"
+)
+
+func main() {
+	// Slow the simulated disk down so the query takes long enough to
+	// watch (virtual seconds; real execution is milliseconds).
+	db := progressdb.Open(progressdb.Config{
+		SeqPageCost:           0.01,
+		RandPageCost:          0.08,
+		ProgressUpdateSeconds: 5,
+	})
+
+	db.MustCreateTable("users",
+		progressdb.Col("id", progressdb.Int),
+		progressdb.Col("name", progressdb.Text),
+		progressdb.Col("country", progressdb.Int),
+	)
+	db.MustCreateTable("events",
+		progressdb.Col("user_id", progressdb.Int),
+		progressdb.Col("kind", progressdb.Text),
+		progressdb.Col("payload", progressdb.Text),
+	)
+
+	payload := strings.Repeat("x", 120)
+	for i := 0; i < 5000; i++ {
+		db.MustInsert("users", int64(i), fmt.Sprintf("user-%04d", i), int64(i%30))
+	}
+	for i := 0; i < 100000; i++ {
+		db.MustInsert("events", int64(i%5000), "click", payload)
+	}
+
+	// Collect optimizer statistics (the paper runs the statistics
+	// collector before its experiments), then start from a cold cache.
+	if err := db.Analyze(); err != nil {
+		panic(err)
+	}
+	if err := db.ColdRestart(); err != nil {
+		panic(err)
+	}
+
+	sql := `select u.name, e.kind from users u, events e
+		where u.id = e.user_id and u.country < 10`
+	fmt.Println("EXPLAIN:")
+	ex, err := db.Explain(sql)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ex)
+
+	res, err := db.ExecDiscard(sql, func(r progressdb.Report) {
+		fmt.Println("----------------------------------------")
+		fmt.Print(progressdb.FormatReport("join", r))
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("========================================")
+	fmt.Printf("finished in %.1f virtual seconds (%d progress refreshes)\n",
+		res.VirtualSeconds, len(res.History))
+}

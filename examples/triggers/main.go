@@ -1,0 +1,70 @@
+// Triggers: the paper's Section 6 "automatic administration" use — fire
+// an alert when a query is progressing too slowly ("send an email to the
+// user if after a whole day's execution, the query finishes less than 10%
+// of the work"). Here the threshold is scaled down: alert if less than
+// 50% done after 100 virtual seconds, which an interference spike makes
+// happen.
+package main
+
+import (
+	"fmt"
+
+	"progressdb"
+)
+
+func main() {
+	const scale = 0.01
+	db := progressdb.Open(progressdb.Config{
+		WorkMemPages: 16,
+		SeqPageCost:  0.8e-3 / scale,
+		RandPageCost: 6.4e-3 / scale,
+	})
+	if err := db.LoadPaperWorkload(scale, false); err != nil {
+		panic(err)
+	}
+	if err := db.ColdRestart(); err != nil {
+		panic(err)
+	}
+
+	// A heavy I/O load arrives almost immediately and stays.
+	if err := db.SetInterference("io", db.Now()+20, db.Now()+1e6, 6); err != nil {
+		panic(err)
+	}
+
+	sql, err := progressdb.PaperQuery(2)
+	if err != nil {
+		panic(err)
+	}
+
+	// The trigger: condition checked on every progress refresh,
+	// fire-once semantics, like the paper's email example.
+	const (
+		alertAfter = 100.0 // virtual seconds
+		alertBelow = 50.0  // percent
+	)
+	fired := false
+	res, err := db.ExecDiscard(sql, func(r progressdb.Report) {
+		if !fired && r.ElapsedSeconds >= alertAfter && r.Percent < alertBelow {
+			fired = true
+			fmt.Printf("ALERT (simulated email): after %.0fs the query is only %.1f%% done "+
+				"(estimated %.0fs left) — consider killing or rescheduling it\n",
+				r.ElapsedSeconds, r.Percent, r.RemainingSeconds)
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("query finished after %.0f virtual seconds; trigger fired: %v\n",
+		res.VirtualSeconds, fired)
+
+	// The history kept by the indicator supports the paper's third use,
+	// performance tuning: see where the time went.
+	fmt.Println("\npost-mortem from the progress history (performance tuning):")
+	prev := 0.0
+	for _, r := range res.History {
+		if r.Finished || r.Percent-prev >= 20 {
+			fmt.Printf("  t=%5.0fs  %5.1f%% done  speed %.1f U/s\n", r.ElapsedSeconds, r.Percent, r.SpeedU)
+			prev = r.Percent
+		}
+	}
+}

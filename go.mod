@@ -1,0 +1,3 @@
+module progressdb
+
+go 1.22

@@ -1,0 +1,207 @@
+package progressdb
+
+import (
+	"fmt"
+
+	"progressdb/internal/core"
+	"progressdb/internal/exec"
+	"progressdb/internal/segment"
+	"progressdb/internal/tuple"
+)
+
+// GroupQuery is one member of a concurrently executing query group.
+type GroupQuery struct {
+	// Name labels the query in progress reports.
+	Name string
+	// SQL is the query text.
+	SQL string
+	// StartAt delays the query's start by this many virtual seconds
+	// after the group begins (0 = immediately), modeling queries that
+	// arrive while others run.
+	StartAt float64
+	// KeepRows materializes the result rows (off by default: concurrent
+	// groups are usually about timing, not data).
+	KeepRows bool
+	// OnProgress receives this query's indicator refreshes. Callbacks
+	// may fire from any of the group's workers; do not assume goroutine
+	// affinity.
+	OnProgress func(Report)
+}
+
+// sliceTuples is how many tuples one query processes before yielding to
+// the next — the scheduler's time slice.
+const sliceTuples = 128
+
+// groupWorker is one query's execution state within a group.
+type groupWorker struct {
+	q        GroupQuery
+	token    chan struct{}
+	finished bool
+	err      error
+	result   *Result
+}
+
+// ExecGroup runs several queries concurrently on this engine: a
+// deterministic round-robin scheduler interleaves them tuple-slice by
+// tuple-slice on the shared virtual clock, so they genuinely contend —
+// each query's progress indicator observes a slowdown when another query
+// runs, with no synthetic interference needed. This reproduces the
+// paper's Section 6 load-management setting: a pool of running queries,
+// each with its own indicator.
+//
+// Results are returned in input order. The first query error aborts the
+// group.
+func (db *DB) ExecGroup(queries []GroupQuery) ([]*Result, error) {
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	workers := make([]*groupWorker, len(queries))
+	for i, q := range queries {
+		workers[i] = &groupWorker{q: q, token: make(chan struct{}, 1)}
+	}
+	groupStart := db.clock.Now()
+	done := make(chan int, len(queries))
+
+	// next passes the token to the next unfinished worker after i;
+	// called only while holding the token.
+	next := func(i int) {
+		for k := 1; k <= len(workers); k++ {
+			w := workers[(i+k)%len(workers)]
+			if !w.finished {
+				w.token <- struct{}{}
+				return
+			}
+		}
+	}
+	// earliestPendingStart finds when the next not-yet-started query is
+	// due; the token holder idles the clock to it when nothing else can
+	// run.
+	earliestPendingStart := func() float64 {
+		earliest := -1.0
+		for _, w := range workers {
+			if w.finished {
+				continue
+			}
+			at := groupStart + w.q.StartAt
+			if earliest < 0 || at < earliest {
+				earliest = at
+			}
+		}
+		return earliest
+	}
+	anyRunnableNow := func() bool {
+		for _, w := range workers {
+			if !w.finished && db.clock.Now() >= groupStart+w.q.StartAt {
+				return true
+			}
+		}
+		return false
+	}
+
+	for i, w := range workers {
+		go func(i int, w *groupWorker) {
+			defer func() { done <- i }()
+			myStart := groupStart + w.q.StartAt
+
+			// Gate on the start time: pass the token along while other
+			// queries run; idle the clock when nothing else can.
+			<-w.token
+			for db.clock.Now() < myStart {
+				if anyRunnableNow() {
+					next(i)
+					<-w.token
+					continue
+				}
+				if at := earliestPendingStart(); at > db.clock.Now() {
+					db.clock.Idle(at - db.clock.Now())
+				}
+			}
+
+			steps := 0
+			yield := func() {
+				steps++
+				if steps >= sliceTuples {
+					steps = 0
+					next(i)
+					<-w.token
+				}
+			}
+			w.result, w.err = db.execOne(w.q, yield)
+			w.finished = true
+			next(i)
+		}(i, w)
+	}
+	workers[0].token <- struct{}{}
+
+	for range workers {
+		<-done
+	}
+	results := make([]*Result, len(workers))
+	for i, w := range workers {
+		if w.err != nil {
+			return nil, fmt.Errorf("progressdb: group query %q: %w", w.q.Name, w.err)
+		}
+		results[i] = w.result
+	}
+	return results, nil
+}
+
+// execOne plans and runs one group member with its own indicator.
+func (db *DB) execOne(q GroupQuery, yield func()) (*Result, error) {
+	p, err := db.plan(q.SQL)
+	if err != nil {
+		return nil, err
+	}
+	d := segment.Decompose(p, db.cfg.WorkMemPages)
+	ind := core.New(db.clock, d, core.Options{
+		UpdatePeriod:    db.cfg.ProgressUpdateSeconds,
+		SpeedWindow:     db.cfg.SpeedWindowSeconds,
+		DecayAlpha:      db.cfg.SpeedDecayAlpha,
+		PerSegmentSpeed: db.cfg.PerSegmentSpeed,
+	})
+	if q.OnProgress != nil {
+		ind.Subscribe(func(s core.Snapshot) { q.OnProgress(toReport(s)) })
+	}
+	ind.Start()
+	defer ind.Stop()
+
+	res := &Result{}
+	for _, c := range p.Schema().Cols {
+		res.Columns = append(res.Columns, c.Name)
+	}
+	env := &exec.Env{
+		Pool:         db.cat.Pool(),
+		Clock:        db.clock,
+		WorkMemPages: db.cfg.WorkMemPages,
+		Reporter:     ind,
+		Decomp:       d,
+		Yield:        yield,
+	}
+	start := db.clock.Now()
+	var sink func(tuple.Tuple) error
+	if q.KeepRows {
+		sink = func(t tuple.Tuple) error {
+			row := make([]interface{}, len(t))
+			for i, v := range t {
+				switch v.Kind {
+				case tuple.Int:
+					row[i] = v.I
+				case tuple.Float:
+					row[i] = v.F
+				default:
+					row[i] = v.S
+				}
+			}
+			res.Rows = append(res.Rows, row)
+			return nil
+		}
+	}
+	if _, err := exec.Run(env, p, sink); err != nil {
+		return nil, err
+	}
+	res.VirtualSeconds = db.clock.Now() - start
+	for _, s := range ind.Snapshots() {
+		res.History = append(res.History, toReport(s))
+	}
+	return res, nil
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"progressdb/internal/storage"
+)
+
+// pageBytes converts byte counts to U.
+const pageBytes = float64(storage.PageSize)
+
+// SegmentReport summarizes one segment after execution — the raw material
+// for the paper's Section 6 "performance tuning" use: "we can see whether
+// the originally estimated query cost is precise enough and where time
+// goes during query execution".
+type SegmentReport struct {
+	// ID is the segment's execution-order index.
+	ID int
+	// Root labels the segment's top operator.
+	Root string
+	// EstCostU and ActualCostU compare the optimizer's initial segment
+	// cost with the work actually done, in U.
+	EstCostU, ActualCostU float64
+	// EstOutRows and ActualOutRows compare output cardinalities.
+	EstOutRows, ActualOutRows float64
+	// Seconds is the segment's active time on the virtual clock.
+	Seconds float64
+	// Done reports whether the segment completed (false only if the
+	// query failed or was cut short).
+	Done bool
+}
+
+// SegmentReports returns per-segment estimated-versus-actual figures.
+// Call after execution completes.
+func (ind *Indicator) SegmentReports() []SegmentReport {
+	out := make([]SegmentReport, len(ind.segs))
+	for i, ss := range ind.segs {
+		r := SegmentReport{
+			ID:          i,
+			Root:        ss.seg.Root.Label(),
+			EstCostU:    ss.seg.InitCost / pageBytes,
+			ActualCostU: ss.doneBytes / pageBytes,
+			EstOutRows:  ss.seg.InitOut.Card,
+			Done:        ss.done,
+		}
+		if ss.done {
+			r.ActualOutRows = float64(ss.outTuples)
+			r.Seconds = ss.endT - ss.startT
+		} else if ss.started {
+			r.ActualOutRows = float64(ss.outTuples)
+			r.Seconds = ind.clock.Now() - ss.startT
+		}
+		if ss.seg.Final {
+			// The final segment's output is the result set: not counted
+			// in U and not observed here (exec.Run returns the row
+			// count). Mark it unavailable.
+			r.ActualOutRows = -1
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// FormatSegmentReports renders the reports as an EXPLAIN ANALYZE-style
+// table.
+func FormatSegmentReports(reports []SegmentReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-3s %-11s %-11s %-12s %-12s %-9s %s\n",
+		"seg", "est U", "actual U", "est rows", "actual rows", "seconds", "root")
+	for _, r := range reports {
+		actRows := fmt.Sprintf("%.0f", r.ActualOutRows)
+		if r.ActualOutRows < 0 {
+			actRows = "(result)"
+		}
+		fmt.Fprintf(&b, "%-3d %-11.0f %-11.0f %-12.0f %-12s %-9.1f %s\n",
+			r.ID, r.EstCostU, r.ActualCostU, r.EstOutRows, actRows, r.Seconds, r.Root)
+	}
+	return b.String()
+}

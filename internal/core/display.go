@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FormatDuration renders seconds as "5 hour 3 min 7 sec", the style of
+// the paper's Figure 2.
+func FormatDuration(seconds float64) string {
+	if seconds < 0 || seconds != seconds { // negative or NaN
+		return "unknown"
+	}
+	if seconds > 1e9 {
+		return "unknown"
+	}
+	s := int64(seconds + 0.5)
+	h := s / 3600
+	m := (s % 3600) / 60
+	sec := s % 60
+	var parts []string
+	if h > 0 {
+		parts = append(parts, fmt.Sprintf("%d hour", h))
+	}
+	if m > 0 || h > 0 {
+		parts = append(parts, fmt.Sprintf("%d min", m))
+	}
+	parts = append(parts, fmt.Sprintf("%d sec", sec))
+	return strings.Join(parts, " ")
+}
+
+// Format renders a snapshot as the paper's Figure 2 progress-indicator
+// box.
+func Format(name string, s Snapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SQL name         %s\n", name)
+	fmt.Fprintf(&b, "Elapsed time     %s\n", FormatDuration(s.Elapsed))
+	fmt.Fprintf(&b, "Estimated time left  %s (%.0f%% done)\n",
+		FormatDuration(s.RemainingSeconds), s.Percent)
+	fmt.Fprintf(&b, "Estimated cost   %.0f U\n", s.EstTotalU)
+	fmt.Fprintf(&b, "Execution speed  %.0f U/Sec\n", s.SpeedU)
+	return b.String()
+}
+
+// RankByRemaining implements the paper's Section 6 load-management use:
+// given the latest snapshot of each running query, return the query names
+// ordered by estimated remaining execution time, longest first — the
+// candidates a DBA would block to relieve the system.
+func RankByRemaining(latest map[string]Snapshot) []string {
+	names := make([]string, 0, len(latest))
+	for n := range latest {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, b := latest[names[i]], latest[names[j]]
+		if a.RemainingSeconds != b.RemainingSeconds {
+			return a.RemainingSeconds > b.RemainingSeconds
+		}
+		return names[i] < names[j]
+	})
+	return names
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"progressdb/internal/optimizer"
+)
+
+// The Section 4.6 two-segment problem: while an I/O-bound segment runs,
+// the naive conversion prices all remaining U at the slow observed rate,
+// overestimating memory-fast future segments. Per-segment mode must give
+// finite, convergent estimates and never be wildly worse than the naive
+// mode.
+func TestPerSegmentSpeedMode(t *testing.T) {
+	sql := `
+		select c.custkey, o.orderkey, l.partkey
+		from customer c, orders o, lineitem l
+		where c.custkey = o.custkey and o.orderkey = l.orderkey`
+
+	run := func(perSeg bool) (mae float64, actual float64) {
+		te := buildEnv(t, nil)
+		opts := fastOpts
+		opts.PerSegmentSpeed = perSeg
+		ind, dur := runWithIndicatorMem(t, te, sql, opts, optimizer.Options{}, 8)
+		n := 0
+		for _, s := range ind.Snapshots() {
+			if s.Finished || s.Elapsed < 2 {
+				continue
+			}
+			if math.IsInf(s.RemainingSeconds, 0) {
+				t.Fatalf("per-seg=%v: infinite remaining at t=%.1f", perSeg, s.Elapsed)
+			}
+			mae += math.Abs(s.RemainingSeconds - (dur - s.Elapsed))
+			n++
+		}
+		if n == 0 {
+			t.Fatal("no snapshots")
+		}
+		return mae / float64(n), dur
+	}
+
+	naiveMAE, dur1 := run(false)
+	segMAE, dur2 := run(true)
+	if math.Abs(dur1-dur2) > 1e-6 {
+		t.Fatalf("the estimator mode must not change execution: %g vs %g", dur1, dur2)
+	}
+	// Both must be sane; per-segment must not be dramatically worse.
+	if segMAE > naiveMAE*2+5 {
+		t.Fatalf("per-segment mode much worse: %.2f vs naive %.2f", segMAE, naiveMAE)
+	}
+	t.Logf("remaining-time MAE: naive %.2fs, per-segment %.2fs (duration %.1fs)", naiveMAE, segMAE, dur1)
+}
+
+// Final convergence holds in per-segment mode too.
+func TestPerSegmentModeFinalConvergence(t *testing.T) {
+	te := buildEnv(t, nil)
+	opts := fastOpts
+	opts.PerSegmentSpeed = true
+	ind, _ := runWithIndicatorMem(t, te,
+		"select c.custkey, o.orderkey from customer c, orders o where c.custkey = o.custkey",
+		opts, optimizer.Options{}, 8)
+	snaps := ind.Snapshots()
+	final := snaps[len(snaps)-1]
+	if !final.Finished || final.Percent != 100 || final.RemainingSeconds != 0 {
+		t.Fatalf("final: %+v", final)
+	}
+}

@@ -1,0 +1,53 @@
+package core
+
+import "fmt"
+
+// Trigger is an automatic-administration hook (the paper's Section 6:
+// "the user may embed triggers in a progress indicator ... send an email
+// to the user if after a whole day's execution, the query finishes less
+// than 10% of the work").
+type Trigger struct {
+	// Name identifies the trigger in logs.
+	Name string
+	// Cond is evaluated on every snapshot.
+	Cond func(Snapshot) bool
+	// Action runs when Cond first becomes true.
+	Action func(Snapshot)
+	// Repeat re-arms the trigger after firing; default is fire-once.
+	Repeat bool
+
+	fired bool
+}
+
+// AddTrigger registers a trigger; it is evaluated on every snapshot.
+func (ind *Indicator) AddTrigger(t *Trigger) error {
+	if t == nil || t.Cond == nil || t.Action == nil {
+		return fmt.Errorf("core: trigger needs Cond and Action")
+	}
+	ind.triggers = append(ind.triggers, t)
+	return nil
+}
+
+// SlowProgressTrigger builds the paper's example: fire when, after
+// elapsed seconds, less than pct percent of the work is finished.
+func SlowProgressTrigger(name string, elapsed, pct float64, action func(Snapshot)) *Trigger {
+	return &Trigger{
+		Name: name,
+		Cond: func(s Snapshot) bool {
+			return s.Elapsed >= elapsed && s.Percent < pct
+		},
+		Action: action,
+	}
+}
+
+func (ind *Indicator) fireTriggers(s Snapshot) {
+	for _, t := range ind.triggers {
+		if t.fired && !t.Repeat {
+			continue
+		}
+		if t.Cond(s) {
+			t.fired = true
+			t.Action(s)
+		}
+	}
+}

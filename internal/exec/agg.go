@@ -1,0 +1,176 @@
+package exec
+
+import (
+	"fmt"
+
+	"progressdb/internal/plan"
+	"progressdb/internal/segment"
+	"progressdb/internal/tuple"
+)
+
+// hashAgg groups its input in an in-memory table. Like every blocking
+// operator it terminates its segment: the drain happens at Open, each
+// result group is a segment-output tuple, and the consumer's reads are
+// segment-input tuples.
+type hashAgg struct {
+	node  *plan.HashAgg
+	env   *Env
+	child Iterator
+	tag   segment.NodeInfo
+
+	groups []tuple.Tuple
+	idx    int
+	done   bool
+}
+
+// aggAcc accumulates one group.
+type aggAcc struct {
+	key    tuple.Tuple // group column values
+	counts []int64     // per agg: rows seen (for count/avg)
+	sums   []float64   // per agg: running sum
+	minmax []tuple.Value
+	seen   []bool
+}
+
+func (h *hashAgg) Open() error {
+	if err := h.child.Open(); err != nil {
+		return err
+	}
+	accs := make(map[string]*aggAcc)
+	var order []string // deterministic output: first-seen group order
+	naggs := len(h.node.Aggs)
+
+	var keyBuf []byte
+	for {
+		t, ok, err := h.child.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		h.env.Clock.ChargeCPU(cpuHashOp)
+		keyBuf = keyBuf[:0]
+		keyVals := make(tuple.Tuple, len(h.node.GroupCols))
+		for i, g := range h.node.GroupCols {
+			keyVals[i] = t[g]
+		}
+		keyBuf = keyVals.Encode(keyBuf)
+		k := string(keyBuf)
+		acc, okk := accs[k]
+		if !okk {
+			acc = &aggAcc{
+				key:    keyVals.Clone(),
+				counts: make([]int64, naggs),
+				sums:   make([]float64, naggs),
+				minmax: make([]tuple.Value, naggs),
+				seen:   make([]bool, naggs),
+			}
+			accs[k] = acc
+			order = append(order, k)
+		}
+		for i, sp := range h.node.Aggs {
+			var v tuple.Value
+			if sp.Col >= 0 {
+				v = t[sp.Col]
+			}
+			acc.counts[i]++
+			switch sp.Kind {
+			case plan.AggCount:
+				// counts already incremented
+			case plan.AggSum, plan.AggAvg:
+				acc.sums[i] += v.AsFloat()
+			case plan.AggMin, plan.AggMax:
+				if !acc.seen[i] {
+					acc.minmax[i] = v
+					acc.seen[i] = true
+					continue
+				}
+				c, err := v.Compare(acc.minmax[i])
+				if err != nil {
+					return err
+				}
+				if (sp.Kind == plan.AggMin && c < 0) || (sp.Kind == plan.AggMax && c > 0) {
+					acc.minmax[i] = v
+				}
+			default:
+				return fmt.Errorf("exec: unknown aggregate %q", sp.Kind)
+			}
+		}
+	}
+	if err := h.child.Close(); err != nil {
+		return err
+	}
+
+	rep := h.env.rep()
+	for _, k := range order {
+		acc := accs[k]
+		out := make(tuple.Tuple, 0, len(h.node.GroupCols)+naggs)
+		out = append(out, acc.key...)
+		for i, sp := range h.node.Aggs {
+			switch sp.Kind {
+			case plan.AggCount:
+				out = append(out, tuple.NewInt(acc.counts[i]))
+			case plan.AggSum:
+				out = append(out, tuple.NewFloat(acc.sums[i]))
+			case plan.AggAvg:
+				out = append(out, tuple.NewFloat(acc.sums[i]/float64(acc.counts[i])))
+			case plan.AggMin, plan.AggMax:
+				out = append(out, acc.minmax[i])
+			}
+		}
+		h.env.Clock.ChargeCPU(cpuTuple)
+		rep.OutputTuple(h.tag.ProducerSeg, out.EncodedSize())
+		h.groups = append(h.groups, out)
+	}
+	rep.SegmentDone(h.tag.ProducerSeg)
+	h.idx = 0
+	return nil
+}
+
+func (h *hashAgg) Next() (tuple.Tuple, bool, error) {
+	if h.idx >= len(h.groups) {
+		if !h.done {
+			h.done = true
+			h.env.rep().InputDone(h.tag.Seg, h.tag.Input)
+		}
+		return nil, false, nil
+	}
+	t := h.groups[h.idx]
+	h.idx++
+	h.env.Clock.ChargeCPU(cpuTuple)
+	h.env.rep().InputTuple(h.tag.Seg, h.tag.Input, t.EncodedSize())
+	return t, true, nil
+}
+
+func (h *hashAgg) Close() error {
+	h.groups = nil
+	return nil
+}
+
+// limitIter passes through at most N rows.
+type limitIter struct {
+	node  *plan.Limit
+	env   *Env
+	child Iterator
+	n     int64
+}
+
+func (l *limitIter) Open() error {
+	l.n = 0
+	return l.child.Open()
+}
+
+func (l *limitIter) Next() (tuple.Tuple, bool, error) {
+	if l.n >= l.node.N {
+		return nil, false, nil
+	}
+	t, ok, err := l.child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	l.n++
+	return t, true, nil
+}
+
+func (l *limitIter) Close() error { return l.child.Close() }

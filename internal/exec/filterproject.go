@@ -1,0 +1,60 @@
+package exec
+
+import (
+	"progressdb/internal/expr"
+	"progressdb/internal/plan"
+	"progressdb/internal/tuple"
+)
+
+// filterIter drops tuples failing the predicate.
+type filterIter struct {
+	node     *plan.Filter
+	env      *Env
+	child    Iterator
+	predCost float64
+}
+
+func (f *filterIter) Open() error { return f.child.Open() }
+
+func (f *filterIter) Next() (tuple.Tuple, bool, error) {
+	for {
+		t, ok, err := f.child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		f.env.Clock.ChargeCPU(f.predCost)
+		pass, err := expr.EvalBool(f.node.Pred, t)
+		if err != nil {
+			return nil, false, err
+		}
+		if pass {
+			return t, true, nil
+		}
+	}
+}
+
+func (f *filterIter) Close() error { return f.child.Close() }
+
+// projectIter keeps a subset of columns.
+type projectIter struct {
+	node  *plan.Project
+	env   *Env
+	child Iterator
+}
+
+func (p *projectIter) Open() error { return p.child.Open() }
+
+func (p *projectIter) Next() (tuple.Tuple, bool, error) {
+	t, ok, err := p.child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make(tuple.Tuple, len(p.node.Cols))
+	for i, c := range p.node.Cols {
+		out[i] = t[c]
+	}
+	p.env.Clock.ChargeCPU(cpuTuple)
+	return out, true, nil
+}
+
+func (p *projectIter) Close() error { return p.child.Close() }

@@ -1,0 +1,216 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"progressdb/internal/expr"
+	"progressdb/internal/plan"
+	"progressdb/internal/segment"
+	"progressdb/internal/storage"
+	"progressdb/internal/tuple"
+)
+
+// partitionIter hash-partitions its child into batch files on disk — the
+// "hash" operators of the paper's Figures 3 and 8. It is fully blocking:
+// run drains the child at once, ending the producer segment. The files
+// are then consumed batch-by-batch by the owning graceJoin.
+type partitionIter struct {
+	node  *plan.Partition
+	env   *Env
+	tag   segment.NodeInfo
+	child Iterator
+	files []*storage.HeapFile
+}
+
+// run partitions the whole input into nbatch files.
+func (p *partitionIter) run(nbatch int) error {
+	if err := p.child.Open(); err != nil {
+		return err
+	}
+	p.files = make([]*storage.HeapFile, nbatch)
+	for i := range p.files {
+		p.files[i] = storage.CreateHeapFile(p.env.Pool)
+	}
+	rep := p.env.rep()
+	for {
+		t, ok, err := p.child.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		enc := t.Encode(nil)
+		p.env.Clock.ChargeCPU(cpuHashOp)
+		rep.OutputTuple(p.tag.ProducerSeg, len(enc))
+		b := int(hashValue(t[p.node.Key]) % uint64(nbatch))
+		if _, err := p.files[b].Append(enc); err != nil {
+			return err
+		}
+	}
+	if err := p.child.Close(); err != nil {
+		return err
+	}
+	for _, f := range p.files {
+		if err := f.Sync(); err != nil {
+			return err
+		}
+	}
+	rep.SegmentDone(p.tag.ProducerSeg)
+	return nil
+}
+
+func (p *partitionIter) drop() error {
+	var firstErr error
+	for _, f := range p.files {
+		if f == nil {
+			continue
+		}
+		if err := f.Drop(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	p.files = nil
+	return firstErr
+}
+
+// graceJoin executes a Grace hash join over two partition sets: for each
+// batch b, build partition b is loaded into an in-memory table and probe
+// partition b streams against it. Both partition reads are inputs of the
+// join's segment; the probe partitions are the dominant input.
+type graceJoin struct {
+	node      *plan.HashJoin
+	env       *Env
+	buildPart *partitionIter
+	probePart *partitionIter
+	predCost  float64
+
+	nbatch int
+	batch  int
+
+	table      map[tuple.Value][]tuple.Tuple
+	probeScan  *storage.Scanner
+	matches    []tuple.Tuple
+	matchIdx   int
+	curProbe   tuple.Tuple
+	buildArity int
+	probeArity int
+}
+
+func (g *graceJoin) Open() error {
+	g.buildArity = g.node.Build.Schema().Arity()
+	g.probeArity = g.node.Probe.Schema().Arity()
+
+	// Batch count: enough that one build partition fits in memory, per
+	// the optimizer's estimate.
+	mem := g.env.workMemBytes()
+	est := g.node.Build.Est().Bytes()
+	g.nbatch = 2
+	if mem > 0 {
+		g.nbatch = int(math.Ceil(est / mem))
+		if g.nbatch < 2 {
+			g.nbatch = 2
+		}
+		if g.nbatch > 256 {
+			g.nbatch = 256
+		}
+	}
+	if err := g.buildPart.run(g.nbatch); err != nil {
+		return err
+	}
+	if err := g.probePart.run(g.nbatch); err != nil {
+		return err
+	}
+	g.batch = -1
+	return nil
+}
+
+func (g *graceJoin) Next() (tuple.Tuple, bool, error) {
+	rep := g.env.rep()
+	for {
+		for g.matchIdx < len(g.matches) {
+			b := g.matches[g.matchIdx]
+			g.matchIdx++
+			out := b.Concat(g.curProbe)
+			g.env.Clock.ChargeCPU(cpuTuple + g.predCost)
+			if g.node.ExtraPred != nil {
+				pass, err := expr.EvalBool(g.node.ExtraPred, out)
+				if err != nil {
+					return nil, false, err
+				}
+				if !pass {
+					continue
+				}
+			}
+			return out, true, nil
+		}
+
+		if g.probeScan != nil {
+			rec, _, ok := g.probeScan.Next()
+			if ok {
+				t, err := tuple.Decode(rec, g.probeArity)
+				if err != nil {
+					return nil, false, err
+				}
+				g.env.Clock.ChargeCPU(cpuHashOp)
+				g.env.yield()
+				rep.InputTuple(g.probePart.tag.Seg, g.probePart.tag.Input, len(rec))
+				g.curProbe = t
+				g.matches = g.table[t[g.node.ProbeKey]]
+				g.matchIdx = 0
+				continue
+			}
+			if err := g.probeScan.Err(); err != nil {
+				return nil, false, err
+			}
+			g.probeScan = nil
+		}
+
+		// Advance to the next batch.
+		g.batch++
+		if g.batch >= g.nbatch {
+			rep.InputDone(g.buildPart.tag.Seg, g.buildPart.tag.Input)
+			rep.InputDone(g.probePart.tag.Seg, g.probePart.tag.Input)
+			return nil, false, nil
+		}
+		if err := g.loadBuildBatch(g.batch); err != nil {
+			return nil, false, err
+		}
+		g.probeScan = g.probePart.files[g.batch].NewScanner()
+	}
+}
+
+func (g *graceJoin) loadBuildBatch(b int) error {
+	g.table = make(map[tuple.Value][]tuple.Tuple)
+	rep := g.env.rep()
+	sc := g.buildPart.files[b].NewScanner()
+	for {
+		rec, _, ok := sc.Next()
+		if !ok {
+			break
+		}
+		t, err := tuple.Decode(rec, g.buildArity)
+		if err != nil {
+			return err
+		}
+		g.env.Clock.ChargeCPU(cpuHashOp)
+		rep.InputTuple(g.buildPart.tag.Seg, g.buildPart.tag.Input, len(rec))
+		k := t[g.node.BuildKey]
+		g.table[k] = append(g.table[k], t)
+	}
+	return sc.Err()
+}
+
+func (g *graceJoin) Close() error {
+	err1 := g.buildPart.drop()
+	err2 := g.probePart.drop()
+	g.table = nil
+	if err1 != nil {
+		return fmt.Errorf("exec: dropping grace-join build partitions: %w", err1)
+	}
+	if err2 != nil {
+		return fmt.Errorf("exec: dropping grace-join probe partitions: %w", err2)
+	}
+	return nil
+}

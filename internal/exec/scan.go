@@ -1,0 +1,113 @@
+package exec
+
+import (
+	"progressdb/internal/btree"
+	"progressdb/internal/plan"
+	"progressdb/internal/segment"
+	"progressdb/internal/storage"
+	"progressdb/internal/tuple"
+)
+
+// seqScan reads a base relation front to back. Each tuple read is a
+// segment-input event; physical page I/O is charged by the heap scanner
+// through the buffer pool.
+type seqScan struct {
+	node *plan.SeqScan
+	env  *Env
+	tag  segment.NodeInfo
+	sc   *storage.Scanner
+	done bool
+}
+
+func (s *seqScan) Open() error {
+	s.sc = s.node.Table.Heap.NewScanner()
+	s.done = false
+	return nil
+}
+
+func (s *seqScan) Next() (tuple.Tuple, bool, error) {
+	rec, _, ok := s.sc.Next()
+	if !ok {
+		if err := s.sc.Err(); err != nil {
+			return nil, false, err
+		}
+		if !s.done {
+			s.done = true
+			s.env.rep().InputDone(s.tag.Seg, s.tag.Input)
+		}
+		return nil, false, nil
+	}
+	row, err := tuple.Decode(rec, s.node.Table.Schema.Arity())
+	if err != nil {
+		return nil, false, err
+	}
+	s.env.Clock.ChargeCPU(cpuTuple)
+	s.env.rep().InputTuple(s.tag.Seg, s.tag.Input, len(rec))
+	s.env.yield()
+	return row, true, nil
+}
+
+func (s *seqScan) Close() error { return nil }
+
+// indexScan walks a B+-tree range and fetches matching heap tuples. Tree
+// and heap page I/O are charged through the buffer pool; heap fetches are
+// typically random.
+type indexScan struct {
+	node *plan.IndexScan
+	env  *Env
+	tag  segment.NodeInfo
+	it   *btree.Iterator
+	done bool
+}
+
+func (s *indexScan) finish() {
+	if !s.done {
+		s.done = true
+		s.env.rep().InputDone(s.tag.Seg, s.tag.Input)
+	}
+}
+
+func (s *indexScan) Open() error {
+	lo := int64(-1 << 63)
+	if s.node.Lo != nil {
+		lo = *s.node.Lo
+	}
+	it, err := s.node.Index.Tree.SeekGE(lo)
+	if err != nil {
+		return err
+	}
+	s.it = it
+	s.done = false
+	return nil
+}
+
+func (s *indexScan) Next() (tuple.Tuple, bool, error) {
+	for {
+		e, ok, err := s.it.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			s.finish()
+			return nil, false, nil
+		}
+		if s.node.Hi != nil && e.Key > *s.node.Hi {
+			s.finish()
+			return nil, false, nil
+		}
+		rec, err := s.node.Table.Heap.Fetch(e.RID)
+		if err != nil {
+			return nil, false, err
+		}
+		row, err := tuple.Decode(rec, s.node.Table.Schema.Arity())
+		if err != nil {
+			return nil, false, err
+		}
+		s.env.Clock.ChargeCPU(cpuTuple + 1)
+		s.env.rep().InputTuple(s.tag.Seg, s.tag.Input, len(rec))
+		s.env.yield()
+		return row, true, nil
+	}
+}
+
+func (s *indexScan) Close() error { return nil }

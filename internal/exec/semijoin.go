@@ -1,0 +1,121 @@
+package exec
+
+import (
+	"progressdb/internal/expr"
+	"progressdb/internal/plan"
+	"progressdb/internal/segment"
+	"progressdb/internal/tuple"
+)
+
+// semiJoin executes EXISTS/IN (and NOT EXISTS/NOT IN as anti-joins). The
+// inner side is drained at Open into a hash table keyed by the equality
+// correlation column (or a plain cache when there is none); each outer
+// tuple is emitted when a match exists (anti: does not exist). The inner
+// drain terminates the subquery's segment; the outer is this segment's
+// dominant input.
+type semiJoin struct {
+	node     *plan.SemiJoin
+	env      *Env
+	tag      segment.NodeInfo
+	outer    Iterator
+	inner    Iterator
+	predCost float64
+
+	table map[tuple.Value][]tuple.Tuple // keyed path
+	cache []tuple.Tuple                 // keyless (pure NL) path
+}
+
+func (j *semiJoin) Open() error {
+	if err := j.inner.Open(); err != nil {
+		return err
+	}
+	rep := j.env.rep()
+	keyed := j.node.OuterKey >= 0
+	if keyed {
+		j.table = make(map[tuple.Value][]tuple.Tuple)
+	}
+	var tuples int64
+	var bytes float64
+	for {
+		t, ok, err := j.inner.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		sz := t.EncodedSize()
+		j.env.Clock.ChargeCPU(cpuHashOp)
+		rep.OutputTuple(j.tag.ProducerSeg, sz)
+		tuples++
+		bytes += float64(sz)
+		if keyed {
+			k := t[j.node.InnerKey]
+			// Without an extra predicate only key presence matters; keep
+			// one witness tuple per key.
+			if j.node.ExtraPred == nil {
+				if _, dup := j.table[k]; dup {
+					continue
+				}
+				j.table[k] = j.table[k][:0]
+			}
+			j.table[k] = append(j.table[k], t)
+		} else {
+			j.cache = append(j.cache, t)
+		}
+	}
+	if err := j.inner.Close(); err != nil {
+		return err
+	}
+	rep.SegmentDone(j.tag.ProducerSeg)
+	rep.InputBulk(j.tag.Seg, j.tag.Input, tuples, bytes)
+	rep.InputDone(j.tag.Seg, j.tag.Input)
+	return j.outer.Open()
+}
+
+func (j *semiJoin) Next() (tuple.Tuple, bool, error) {
+	for {
+		t, ok, err := j.outer.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		j.env.Clock.ChargeCPU(cpuHashOp)
+		j.env.yield()
+		matched, err := j.matches(t)
+		if err != nil {
+			return nil, false, err
+		}
+		if matched != j.node.Anti {
+			return t, true, nil
+		}
+	}
+}
+
+func (j *semiJoin) matches(outer tuple.Tuple) (bool, error) {
+	var candidates []tuple.Tuple
+	if j.node.OuterKey >= 0 {
+		candidates = j.table[outer[j.node.OuterKey]]
+	} else {
+		candidates = j.cache
+	}
+	if j.node.ExtraPred == nil {
+		return len(candidates) > 0, nil
+	}
+	for _, c := range candidates {
+		j.env.Clock.ChargeCPU(j.predCost)
+		pass, err := expr.EvalBool(j.node.ExtraPred, outer.Concat(c))
+		if err != nil {
+			return false, err
+		}
+		if pass {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func (j *semiJoin) Close() error {
+	j.table = nil
+	j.cache = nil
+	return j.outer.Close()
+}

@@ -1,0 +1,192 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"progressdb/internal/optimizer"
+	"progressdb/internal/plan"
+	"progressdb/internal/segment"
+	"progressdb/internal/sqlparser"
+)
+
+// In testDB: customers 0..99, orders have custkey = i%100 (every
+// customer has orders), lineitem orderkey = i%1000.
+
+func TestExistsCorrelated(t *testing.T) {
+	cat, clock := testDB(t)
+	// Every customer has orders; with a price filter only some qualify.
+	rows := runSQL(t, cat, clock, `
+		select c.custkey from customer c
+		where exists (select * from orders o where o.custkey = c.custkey and o.totalprice > 1400)`,
+		optimizer.Options{}, 512, nil)
+	// totalprice = i*1.5 > 1400 → i > 933 → orders 934..999 → custkeys 34..99.
+	if len(rows) != 66 {
+		t.Fatalf("exists rows = %d, want 66", len(rows))
+	}
+	for _, r := range rows {
+		var k int
+		fmt.Sscanf(r, "(%d)", &k)
+		if k < 34 {
+			t.Fatalf("unexpected custkey %d", k)
+		}
+	}
+}
+
+func TestNotExistsAnti(t *testing.T) {
+	cat, clock := testDB(t)
+	rows := runSQL(t, cat, clock, `
+		select c.custkey from customer c
+		where not exists (select * from orders o where o.custkey = c.custkey and o.totalprice > 1400)`,
+		optimizer.Options{}, 512, nil)
+	if len(rows) != 34 {
+		t.Fatalf("not-exists rows = %d, want 34", len(rows))
+	}
+}
+
+func TestExistsAndNotExistsPartition(t *testing.T) {
+	cat, clock := testDB(t)
+	// EXISTS ∪ NOT EXISTS must cover every outer row exactly once.
+	pos := runSQL(t, cat, clock, `
+		select c.custkey from customer c
+		where exists (select * from orders o where o.custkey = c.custkey and o.orderkey < 50)`,
+		optimizer.Options{}, 512, nil)
+	neg := runSQL(t, cat, clock, `
+		select c.custkey from customer c
+		where not exists (select * from orders o where o.custkey = c.custkey and o.orderkey < 50)`,
+		optimizer.Options{}, 512, nil)
+	if len(pos)+len(neg) != 100 {
+		t.Fatalf("partition broken: %d + %d != 100", len(pos), len(neg))
+	}
+}
+
+func TestInSubquery(t *testing.T) {
+	cat, clock := testDB(t)
+	rows := runSQL(t, cat, clock,
+		"select custkey from customer where custkey in (select custkey from orders where orderkey < 10)",
+		optimizer.Options{}, 512, nil)
+	// orders 0..9 have custkeys 0..9.
+	if len(rows) != 10 {
+		t.Fatalf("in rows = %d, want 10", len(rows))
+	}
+	rows = runSQL(t, cat, clock,
+		"select custkey from customer where custkey not in (select custkey from orders where orderkey < 10)",
+		optimizer.Options{}, 512, nil)
+	if len(rows) != 90 {
+		t.Fatalf("not-in rows = %d, want 90", len(rows))
+	}
+}
+
+func TestExistsWithNonEquiCorrelation(t *testing.T) {
+	cat, clock := testDB(t)
+	// Equality correlation plus a range correlation (becomes the extra
+	// predicate of the semi-join).
+	rows := runSQL(t, cat, clock, `
+		select c.custkey from customer c
+		where exists (select * from orders o where o.custkey = c.custkey and o.orderkey > c.custkey)`,
+		optimizer.Options{}, 512, nil)
+	// Customer k has orders k, k+100, ..., k+900: orderkey > custkey
+	// holds for all customers (k+100 > k), and for customer 0 order 100.
+	if len(rows) != 100 {
+		t.Fatalf("rows = %d, want 100", len(rows))
+	}
+}
+
+func TestExistsOverJoinedOuter(t *testing.T) {
+	cat, clock := testDB(t)
+	rows := runSQL(t, cat, clock, `
+		select c.custkey, o.orderkey from customer c, orders o
+		where c.custkey = o.custkey and o.orderkey < 20
+		and exists (select * from lineitem l where l.orderkey = o.orderkey and l.quantity > 45)`,
+		optimizer.Options{}, 512, nil)
+	// lineitem quantity = i%50 > 45 → i%50 in 46..49; those lineitems'
+	// orderkeys are i%1000. Verify against a reference count.
+	want := 0
+	for o := 0; o < 20; o++ {
+		found := false
+		for i := 0; i < 3000; i++ {
+			if i%1000 == o && i%50 > 45 {
+				found = true
+				break
+			}
+		}
+		if found {
+			want++
+		}
+	}
+	if len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+}
+
+func TestSemiJoinSegmentStructure(t *testing.T) {
+	cat, clock := testDB(t)
+	stmt, _ := sqlparser.Parse(`
+		select c.custkey from customer c
+		where exists (select * from orders o where o.custkey = c.custkey)`)
+	p, err := optimizer.Plan(cat, stmt, optimizer.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan.Format(p), "HashSemiJoin") {
+		t.Fatalf("plan:\n%s", plan.Format(p))
+	}
+	d := segment.Decompose(p, 512)
+	if len(d.Segments) != 2 {
+		t.Fatalf("segments:\n%s", d)
+	}
+	// The inner (subquery) segment runs first; the outer scan is the
+	// final segment's dominant input.
+	if d.Segments[0].Kind != segment.KindHashBuild {
+		t.Fatalf("inner segment kind = %v", d.Segments[0].Kind)
+	}
+	final := d.Segments[1]
+	dom := final.Inputs[final.Dominant[0]]
+	if !dom.Base || dom.Table.Name != "customer" {
+		t.Fatalf("dominant input:\n%s", d)
+	}
+	rec := newRecorder()
+	env := &Env{Pool: cat.Pool(), Clock: clock, WorkMemPages: 512, Reporter: rec, Decomp: d}
+	n, err := Run(env, p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 {
+		t.Fatalf("rows = %d", n)
+	}
+	// The subquery segment emitted its output and completed first.
+	if rec.done[0] != 0 || rec.outputCount[0] == 0 {
+		t.Fatalf("subquery segment accounting: done=%v out=%v", rec.done, rec.outputCount)
+	}
+}
+
+func TestSubqueryErrors(t *testing.T) {
+	cat, clock := testDB(t)
+	bad := []string{
+		// Uncorrelated EXISTS.
+		"select * from customer where exists (select * from orders)",
+		// Nested subqueries.
+		`select * from customer c where exists (
+			select * from orders o where o.custkey = c.custkey and exists (
+				select * from lineitem l where l.orderkey = o.orderkey))`,
+		// IN subquery selecting multiple columns.
+		"select * from customer where custkey in (select custkey, orderkey from orders)",
+		// Aggregates in subqueries.
+		"select * from customer c where custkey in (select count(*) from orders)",
+		// Subquery with LIMIT.
+		"select * from customer c where exists (select * from orders o where o.custkey = c.custkey limit 1)",
+		// Predicate referencing only outer columns.
+		"select * from customer c where exists (select * from orders o where c.custkey = c.nationkey)",
+	}
+	for _, sql := range bad {
+		stmt, err := sqlparser.Parse(sql)
+		if err != nil {
+			t.Fatalf("parse %q: %v", sql, err)
+		}
+		if _, err := optimizer.Plan(cat, stmt, optimizer.Options{}); err == nil {
+			t.Errorf("Plan(%q) succeeded, want error", sql)
+		}
+	}
+	_ = clock
+}

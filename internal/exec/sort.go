@@ -1,0 +1,298 @@
+package exec
+
+import (
+	"math"
+	"sort"
+
+	"progressdb/internal/plan"
+	"progressdb/internal/segment"
+	"progressdb/internal/storage"
+	"progressdb/internal/tuple"
+)
+
+// sortIter is an external merge sort. Run formation (and any intermediate
+// merge passes) happens at Open and belongs to the producer segment,
+// which it terminates — the paper's Figure 3, where S3/S4 sort their
+// outputs "into multiple sorted runs" consumed by S5. The final merge
+// streams tuples to the consumer, reported as consumer-segment input.
+type sortIter struct {
+	node  *plan.Sort
+	env   *Env
+	child Iterator
+	tag   segment.NodeInfo
+
+	mem  []tuple.Tuple // single in-memory run when nothing spilled
+	runs []*storage.HeapFile
+
+	memIdx    int
+	merge     *runMerger
+	arity     int
+	inputDone bool
+}
+
+// finishInput marks the sorted stream fully consumed by the parent
+// segment.
+func (s *sortIter) finishInput() {
+	if !s.inputDone {
+		s.inputDone = true
+		s.env.rep().InputDone(s.tag.Seg, s.tag.Input)
+	}
+}
+
+func (s *sortIter) Open() error {
+	s.arity = s.node.Schema().Arity()
+	if err := s.child.Open(); err != nil {
+		return err
+	}
+	rep := s.env.rep()
+	memLimit := s.env.workMemBytes()
+
+	var buf []tuple.Tuple
+	bufBytes := 0.0
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		if err := s.sortTuples(buf); err != nil {
+			return err
+		}
+		f := storage.CreateHeapFile(s.env.Pool)
+		for _, t := range buf {
+			if _, err := f.Append(t.Encode(nil)); err != nil {
+				return err
+			}
+		}
+		if err := f.Sync(); err != nil {
+			return err
+		}
+		s.runs = append(s.runs, f)
+		buf, bufBytes = nil, 0
+		return nil
+	}
+
+	for {
+		t, ok, err := s.child.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		sz := t.EncodedSize()
+		s.env.Clock.ChargeCPU(cpuTuple)
+		rep.OutputTuple(s.tag.ProducerSeg, sz)
+		buf = append(buf, t)
+		bufBytes += float64(sz)
+		if memLimit > 0 && bufBytes >= memLimit {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := s.child.Close(); err != nil {
+		return err
+	}
+
+	if len(s.runs) == 0 {
+		// Everything fit: keep the single run in memory.
+		if err := s.sortTuples(buf); err != nil {
+			return err
+		}
+		s.mem = buf
+	} else {
+		if err := flush(); err != nil {
+			return err
+		}
+		if err := s.intermediateMerges(); err != nil {
+			return err
+		}
+	}
+	rep.SegmentDone(s.tag.ProducerSeg)
+	return nil
+}
+
+// sortTuples sorts in place by the sort keys, charging ~n·log2(n) CPU.
+func (s *sortIter) sortTuples(ts []tuple.Tuple) error {
+	if len(ts) > 1 {
+		s.env.Clock.ChargeCPU(float64(len(ts)) * math.Log2(float64(len(ts))))
+	}
+	var sortErr error
+	sort.SliceStable(ts, func(i, j int) bool {
+		c, err := s.compare(ts[i], ts[j])
+		if err != nil && sortErr == nil {
+			sortErr = err
+		}
+		return c < 0
+	})
+	return sortErr
+}
+
+func (s *sortIter) compare(a, b tuple.Tuple) (int, error) {
+	for _, k := range s.node.Keys {
+		c, err := a[k.Col].Compare(b[k.Col])
+		if err != nil {
+			return 0, err
+		}
+		if k.Desc {
+			c = -c
+		}
+		if c != 0 {
+			return c, nil
+		}
+	}
+	return 0, nil
+}
+
+// intermediateMerges reduces the run count below the merge fan-in,
+// charging each moved byte twice (read + write) as multi-stage Extra.
+func (s *sortIter) intermediateMerges() error {
+	fanin := s.env.WorkMemPages - 1
+	if fanin < 2 {
+		fanin = 2
+	}
+	rep := s.env.rep()
+	for len(s.runs) > fanin {
+		group := s.runs[:fanin]
+		rest := s.runs[fanin:]
+		m, err := newRunMerger(s, group)
+		if err != nil {
+			return err
+		}
+		out := storage.CreateHeapFile(s.env.Pool)
+		for {
+			t, ok, err := m.next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			sz := t.EncodedSize()
+			s.env.Clock.ChargeCPU(cpuTuple * 2)
+			rep.Extra(s.tag.ProducerSeg, 2*float64(sz))
+			if _, err := out.Append(t.Encode(nil)); err != nil {
+				return err
+			}
+		}
+		if err := out.Sync(); err != nil {
+			return err
+		}
+		for _, f := range group {
+			if err := f.Drop(); err != nil {
+				return err
+			}
+		}
+		s.runs = append(rest, out)
+	}
+	return nil
+}
+
+func (s *sortIter) Next() (tuple.Tuple, bool, error) {
+	rep := s.env.rep()
+	if s.mem != nil {
+		if s.memIdx >= len(s.mem) {
+			s.finishInput()
+			return nil, false, nil
+		}
+		t := s.mem[s.memIdx]
+		s.memIdx++
+		s.env.Clock.ChargeCPU(cpuTuple)
+		rep.InputTuple(s.tag.Seg, s.tag.Input, t.EncodedSize())
+		return t, true, nil
+	}
+	if s.merge == nil {
+		m, err := newRunMerger(s, s.runs)
+		if err != nil {
+			return nil, false, err
+		}
+		s.merge = m
+	}
+	t, ok, err := s.merge.next()
+	if err != nil {
+		return nil, false, err
+	}
+	if !ok {
+		s.finishInput()
+		return nil, false, nil
+	}
+	s.env.Clock.ChargeCPU(cpuTuple + math.Log2(float64(len(s.runs))+1))
+	rep.InputTuple(s.tag.Seg, s.tag.Input, t.EncodedSize())
+	return t, true, nil
+}
+
+func (s *sortIter) Close() error {
+	var firstErr error
+	for _, f := range s.runs {
+		if err := f.Drop(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	s.runs = nil
+	s.mem = nil
+	return firstErr
+}
+
+// runMerger streams the k-way merge of sorted runs. k is bounded by the
+// merge fan-in, so a linear minimum scan per tuple is fine.
+type runMerger struct {
+	s     *sortIter
+	scans []*storage.Scanner
+	heads []tuple.Tuple
+}
+
+func newRunMerger(s *sortIter, runs []*storage.HeapFile) (*runMerger, error) {
+	m := &runMerger{s: s}
+	for _, f := range runs {
+		sc := f.NewScanner()
+		m.scans = append(m.scans, sc)
+		m.heads = append(m.heads, nil)
+	}
+	for i := range m.scans {
+		if err := m.advance(i); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+func (m *runMerger) advance(i int) error {
+	rec, _, ok := m.scans[i].Next()
+	if !ok {
+		m.heads[i] = nil
+		return m.scans[i].Err()
+	}
+	t, err := tuple.Decode(rec, m.s.arity)
+	if err != nil {
+		return err
+	}
+	m.heads[i] = t
+	return nil
+}
+
+func (m *runMerger) next() (tuple.Tuple, bool, error) {
+	best := -1
+	for i, h := range m.heads {
+		if h == nil {
+			continue
+		}
+		if best < 0 {
+			best = i
+			continue
+		}
+		c, err := m.s.compare(h, m.heads[best])
+		if err != nil {
+			return nil, false, err
+		}
+		if c < 0 {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, false, nil
+	}
+	t := m.heads[best]
+	if err := m.advance(best); err != nil {
+		return nil, false, err
+	}
+	return t, true, nil
+}

@@ -1,0 +1,71 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"progressdb/internal/tuple"
+)
+
+// AggKind is an aggregate function.
+type AggKind string
+
+// Aggregate kinds.
+const (
+	AggCount AggKind = "count"
+	AggSum   AggKind = "sum"
+	AggAvg   AggKind = "avg"
+	AggMin   AggKind = "min"
+	AggMax   AggKind = "max"
+)
+
+// AggSpec is one aggregate in a HashAgg: Kind over child column Col
+// (Col = -1 for count(*)).
+type AggSpec struct {
+	Kind AggKind
+	Col  int
+}
+
+// HashAgg groups its input by GroupCols and computes Aggs per group. It
+// is a blocking operator — grouping cannot emit until all input is seen —
+// so it terminates its segment, exactly like the paper's hash-table
+// builds and sorts. Its output schema is [group columns..., aggregates...].
+type HashAgg struct {
+	Child     Node
+	GroupCols []int
+	Aggs      []AggSpec
+	// GroupsEst is the optimizer's estimate of the number of groups.
+	GroupsEst float64
+	Sch       *tuple.Schema
+	OutEst    Est
+}
+
+func (a *HashAgg) Schema() *tuple.Schema { return a.Sch }
+func (a *HashAgg) Children() []Node      { return []Node{a.Child} }
+func (a *HashAgg) Est() Est              { return a.OutEst }
+func (a *HashAgg) Label() string {
+	parts := make([]string, 0, len(a.GroupCols)+len(a.Aggs))
+	for _, g := range a.GroupCols {
+		parts = append(parts, a.Child.Schema().Cols[g].Name)
+	}
+	for _, sp := range a.Aggs {
+		arg := "*"
+		if sp.Col >= 0 {
+			arg = a.Child.Schema().Cols[sp.Col].Name
+		}
+		parts = append(parts, fmt.Sprintf("%s(%s)", sp.Kind, arg))
+	}
+	return "HashAggregate (" + strings.Join(parts, ", ") + ")"
+}
+
+// Limit passes through at most N rows — streaming, not blocking.
+type Limit struct {
+	Child  Node
+	N      int64
+	OutEst Est
+}
+
+func (l *Limit) Schema() *tuple.Schema { return l.Child.Schema() }
+func (l *Limit) Children() []Node      { return []Node{l.Child} }
+func (l *Limit) Est() Est              { return l.OutEst }
+func (l *Limit) Label() string         { return fmt.Sprintf("Limit %d", l.N) }

@@ -1,0 +1,59 @@
+package plan
+
+import (
+	"fmt"
+
+	"progressdb/internal/expr"
+	"progressdb/internal/tuple"
+)
+
+// SemiJoin implements EXISTS/IN (and their negations as an anti-join):
+// an Outer tuple is emitted when at least one (Anti: no) Inner tuple
+// matches. The Inner side is consumed fully into a hash table or cache
+// at open — a blocking boundary, so the inner subtree forms its own
+// segment whose output is the match set; the Outer is the consumer
+// segment's dominant input, exactly like a hash join's probe.
+//
+// Correlated subqueries are the paper's Section 6 future-work item 3;
+// decorrelation into a semi-join makes them ordinary segments for the
+// progress indicator.
+type SemiJoin struct {
+	Outer, Inner Node
+	// OuterKey/InnerKey are the equality correlation columns; -1 means
+	// no hashable key (pure nested-loops semi-join over the cached
+	// inner).
+	OuterKey, InnerKey int
+	// ExtraPred is evaluated over the concatenated (outer ++ inner)
+	// schema for each candidate match.
+	ExtraPred expr.Expr
+	// Anti negates the match condition (NOT EXISTS / NOT IN).
+	Anti bool
+	// Sel is the estimated fraction of outer tuples emitted.
+	Sel    float64
+	OutEst Est
+}
+
+func (j *SemiJoin) Schema() *tuple.Schema { return j.Outer.Schema() }
+func (j *SemiJoin) Children() []Node      { return []Node{j.Outer, j.Inner} }
+func (j *SemiJoin) Est() Est              { return j.OutEst }
+func (j *SemiJoin) Label() string {
+	kind := "HashSemiJoin"
+	if j.OuterKey < 0 {
+		kind = "NestedLoopSemiJoin"
+	}
+	if j.Anti {
+		kind = "Anti" + kind
+	}
+	cond := ""
+	if j.OuterKey >= 0 {
+		cond = fmt.Sprintf("outer.%s = inner.%s",
+			j.Outer.Schema().Cols[j.OuterKey].Name, j.Inner.Schema().Cols[j.InnerKey].Name)
+	}
+	if j.ExtraPred != nil {
+		if cond != "" {
+			cond += " AND "
+		}
+		cond += j.ExtraPred.String()
+	}
+	return fmt.Sprintf("%s (%s)", kind, cond)
+}

@@ -1,0 +1,85 @@
+package sqlparser
+
+import "testing"
+
+func TestParseAggregates(t *testing.T) {
+	stmt := mustParse(t,
+		"select c.nationkey, count(*), sum(o.totalprice), avg(o.totalprice), min(o.orderkey), max(o.orderkey) "+
+			"from customer c, orders o where c.custkey = o.custkey group by c.nationkey")
+	if len(stmt.Items) != 6 {
+		t.Fatalf("items: %d", len(stmt.Items))
+	}
+	if stmt.Items[0].Agg != "" || stmt.Items[0].Col.Column != "nationkey" {
+		t.Fatalf("item 0: %+v", stmt.Items[0])
+	}
+	if stmt.Items[1].Agg != "count" || !stmt.Items[1].AggStar {
+		t.Fatalf("item 1: %+v", stmt.Items[1])
+	}
+	if stmt.Items[2].Agg != "sum" || stmt.Items[2].Col.Column != "totalprice" {
+		t.Fatalf("item 2: %+v", stmt.Items[2])
+	}
+	if len(stmt.GroupBy) != 1 || stmt.GroupBy[0].Column != "nationkey" {
+		t.Fatalf("group by: %+v", stmt.GroupBy)
+	}
+}
+
+func TestParseOrderByLimit(t *testing.T) {
+	stmt := mustParse(t, "select custkey, acctbal from customer order by acctbal desc, custkey asc limit 10")
+	if len(stmt.OrderBy) != 2 {
+		t.Fatalf("order by: %+v", stmt.OrderBy)
+	}
+	if !stmt.OrderBy[0].Desc || stmt.OrderBy[0].Col.Column != "acctbal" {
+		t.Fatalf("key 0: %+v", stmt.OrderBy[0])
+	}
+	if stmt.OrderBy[1].Desc {
+		t.Fatalf("key 1: %+v", stmt.OrderBy[1])
+	}
+	if stmt.Limit == nil || *stmt.Limit != 10 {
+		t.Fatalf("limit: %v", stmt.Limit)
+	}
+}
+
+func TestParseAggErrors(t *testing.T) {
+	bad := []string{
+		"select sum(*) from t",
+		"select count( from t",
+		"select count(*) from t group by",
+		"select * from t order by",
+		"select * from t limit",
+		"select * from t limit -1",
+		"select * from t limit x",
+		"select * from t order by a limit 5 garbage",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestAggStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		"SELECT nationkey, count(*) FROM customer GROUP BY nationkey ORDER BY nationkey LIMIT 5",
+		"SELECT count(*) FROM lineitem",
+		"SELECT a, sum(b) FROM t GROUP BY a ORDER BY a DESC",
+	}
+	for _, src := range srcs {
+		stmt := mustParse(t, src)
+		re, err := Parse(stmt.String())
+		if err != nil {
+			t.Fatalf("reparse %q (%q): %v", src, stmt.String(), err)
+		}
+		if re.String() != stmt.String() {
+			t.Fatalf("round trip: %q != %q", re.String(), stmt.String())
+		}
+	}
+}
+
+// A column legitimately named like an aggregate (but not followed by a
+// paren) still parses as a column.
+func TestAggNameAsColumn(t *testing.T) {
+	stmt := mustParse(t, "select count from t")
+	if stmt.Items[0].Agg != "" || stmt.Items[0].Col.Column != "count" {
+		t.Fatalf("item: %+v", stmt.Items[0])
+	}
+}

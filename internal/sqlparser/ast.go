@@ -1,0 +1,229 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SelectStmt is a parsed SPJ query, optionally with aggregation,
+// ordering, and a row limit.
+type SelectStmt struct {
+	// Star is true for SELECT *.
+	Star bool
+	// Items are the select-list entries when Star is false.
+	Items []SelectItem
+	// From lists the referenced tables with optional aliases.
+	From []TableRef
+	// Where is the conjunction of predicates, nil if absent.
+	Where Expr
+	// GroupBy lists grouping columns (may be empty even with aggregates,
+	// for a single global group).
+	GroupBy []ColumnRef
+	// OrderBy lists output ordering keys.
+	OrderBy []OrderItem
+	// Limit caps the result rows; nil means no limit.
+	Limit *int64
+}
+
+// SelectItem is one select-list entry: either a plain column or an
+// aggregate over a column (or * for COUNT(*)).
+type SelectItem struct {
+	// Agg is "", or one of "count", "sum", "avg", "min", "max".
+	Agg string
+	// AggStar marks COUNT(*).
+	AggStar bool
+	// Col is the column (the aggregate argument when Agg != "").
+	Col ColumnRef
+}
+
+func (it SelectItem) String() string {
+	if it.Agg == "" {
+		return it.Col.String()
+	}
+	if it.AggStar {
+		return it.Agg + "(*)"
+	}
+	return it.Agg + "(" + it.Col.String() + ")"
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Col  ColumnRef
+	Desc bool
+}
+
+func (o OrderItem) String() string {
+	if o.Desc {
+		return o.Col.String() + " DESC"
+	}
+	return o.Col.String()
+}
+
+// TableRef is one FROM-list entry.
+type TableRef struct {
+	Table string
+	Alias string // defaults to Table
+}
+
+// Binding returns the name predicates use to refer to this table.
+func (t TableRef) Binding() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// Expr is a source-level scalar expression (unbound: columns are names,
+// not positions).
+type Expr interface {
+	fmt.Stringer
+	sqlExpr()
+}
+
+// ColumnRef is a possibly-qualified column name.
+type ColumnRef struct {
+	Qualifier string // table alias, "" if unqualified
+	Column    string
+}
+
+func (ColumnRef) sqlExpr() {}
+
+func (c ColumnRef) String() string {
+	if c.Qualifier != "" {
+		return c.Qualifier + "." + c.Column
+	}
+	return c.Column
+}
+
+// IntLit is an integer literal.
+type IntLit struct{ V int64 }
+
+func (IntLit) sqlExpr()         {}
+func (l IntLit) String() string { return fmt.Sprintf("%d", l.V) }
+
+// FloatLit is a floating-point literal.
+type FloatLit struct{ V float64 }
+
+func (FloatLit) sqlExpr()         {}
+func (l FloatLit) String() string { return fmt.Sprintf("%g", l.V) }
+
+// StrLit is a string literal.
+type StrLit struct{ V string }
+
+func (StrLit) sqlExpr()         {}
+func (l StrLit) String() string { return "'" + strings.ReplaceAll(l.V, "'", "''") + "'" }
+
+// FuncCall is a scalar function application.
+type FuncCall struct {
+	Name string
+	Args []Expr
+}
+
+func (FuncCall) sqlExpr() {}
+
+func (f FuncCall) String() string {
+	parts := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", f.Name, strings.Join(parts, ", "))
+}
+
+// Comparison is <left> op <right> with op in =, <>, <, <=, >, >=.
+type Comparison struct {
+	Op   string
+	L, R Expr
+}
+
+func (Comparison) sqlExpr()         {}
+func (c Comparison) String() string { return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R) }
+
+// ExistsExpr is [NOT] EXISTS (subquery), possibly correlated — the
+// paper's Section 6 names correlated subqueries as an open challenge for
+// progress indicators; we support one level of them.
+type ExistsExpr struct {
+	Not bool
+	Sub *SelectStmt
+}
+
+func (ExistsExpr) sqlExpr() {}
+
+func (e ExistsExpr) String() string {
+	not := ""
+	if e.Not {
+		not = "NOT "
+	}
+	return not + "EXISTS (" + e.Sub.String() + ")"
+}
+
+// InExpr is <column> [NOT] IN (subquery).
+type InExpr struct {
+	Col ColumnRef
+	Not bool
+	Sub *SelectStmt
+}
+
+func (InExpr) sqlExpr() {}
+
+func (e InExpr) String() string {
+	not := ""
+	if e.Not {
+		not = "NOT "
+	}
+	return e.Col.String() + " " + not + "IN (" + e.Sub.String() + ")"
+}
+
+// AndExpr is a conjunction.
+type AndExpr struct {
+	L, R Expr
+}
+
+func (AndExpr) sqlExpr()         {}
+func (a AndExpr) String() string { return fmt.Sprintf("%s AND %s", a.L, a.R) }
+
+// String renders the statement back to SQL.
+func (s *SelectStmt) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Star {
+		b.WriteString("*")
+	} else {
+		for i, it := range s.Items {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(it.String())
+		}
+	}
+	b.WriteString(" FROM ")
+	for i, t := range s.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.Table)
+		if t.Alias != "" && !strings.EqualFold(t.Alias, t.Table) {
+			b.WriteString(" " + t.Alias)
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		parts := make([]string, len(s.GroupBy))
+		for i, g := range s.GroupBy {
+			parts[i] = g.String()
+		}
+		b.WriteString(" GROUP BY " + strings.Join(parts, ", "))
+	}
+	if len(s.OrderBy) > 0 {
+		parts := make([]string, len(s.OrderBy))
+		for i, o := range s.OrderBy {
+			parts[i] = o.String()
+		}
+		b.WriteString(" ORDER BY " + strings.Join(parts, ", "))
+	}
+	if s.Limit != nil {
+		fmt.Fprintf(&b, " LIMIT %d", *s.Limit)
+	}
+	return b.String()
+}

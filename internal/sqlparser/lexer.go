@@ -1,0 +1,209 @@
+// Package sqlparser implements a lexer and recursive-descent parser for
+// the select-project-join SQL dialect the paper's techniques cover:
+//
+//	SELECT <select-list> FROM <table [alias]>, ... [WHERE <conjunction>]
+//
+// The select list is * or a comma-separated list of (optionally qualified)
+// column references; the WHERE clause is a conjunction of comparisons
+// whose operands are column references, numeric or string literals, and
+// scalar function calls such as absolute(l.partkey).
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokComma
+	tokDot
+	tokLParen
+	tokRParen
+	tokStar
+	tokOp // = <> < <= > >=
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes src.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(tokEOF, "", l.pos)
+			return l.toks, nil
+		}
+		start := l.pos
+		ch := l.src[l.pos]
+		switch {
+		case ch == ',':
+			l.pos++
+			l.emit(tokComma, ",", start)
+		case ch == '.':
+			l.pos++
+			l.emit(tokDot, ".", start)
+		case ch == '(':
+			l.pos++
+			l.emit(tokLParen, "(", start)
+		case ch == ')':
+			l.pos++
+			l.emit(tokRParen, ")", start)
+		case ch == '*':
+			l.pos++
+			l.emit(tokStar, "*", start)
+		case ch == ';':
+			l.pos++ // a trailing semicolon is permitted and ignored
+		case ch == '=':
+			l.pos++
+			l.emit(tokOp, "=", start)
+		case ch == '<':
+			l.pos++
+			switch {
+			case l.peekByte() == '>':
+				l.pos++
+				l.emit(tokOp, "<>", start)
+			case l.peekByte() == '=':
+				l.pos++
+				l.emit(tokOp, "<=", start)
+			default:
+				l.emit(tokOp, "<", start)
+			}
+		case ch == '>':
+			l.pos++
+			if l.peekByte() == '=' {
+				l.pos++
+				l.emit(tokOp, ">=", start)
+			} else {
+				l.emit(tokOp, ">", start)
+			}
+		case ch == '!':
+			l.pos++
+			if l.peekByte() == '=' {
+				l.pos++
+				l.emit(tokOp, "<>", start) // != is an alias for <>
+			} else {
+				return nil, fmt.Errorf("sql: unexpected '!' at position %d", start)
+			}
+		case ch == '\'':
+			s, err := l.lexString()
+			if err != nil {
+				return nil, err
+			}
+			l.emit(tokString, s, start)
+		case ch == '-' || unicode.IsDigit(rune(ch)):
+			n, err := l.lexNumber()
+			if err != nil {
+				return nil, err
+			}
+			l.emit(tokNumber, n, start)
+		case isIdentStart(ch):
+			l.lexIdent()
+			l.emit(tokIdent, l.src[start:l.pos], start)
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at position %d", ch, start)
+		}
+	}
+}
+
+func (l *lexer) emit(kind tokenKind, text string, pos int) {
+	l.toks = append(l.toks, token{kind: kind, text: text, pos: pos})
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos < len(l.src) {
+		return l.src[l.pos]
+	}
+	return 0
+}
+
+func (l *lexer) lexString() (string, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		ch := l.src[l.pos]
+		if ch == '\'' {
+			// '' is an escaped quote.
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return b.String(), nil
+		}
+		b.WriteByte(ch)
+		l.pos++
+	}
+	return "", fmt.Errorf("sql: unterminated string starting at position %d", start)
+}
+
+func (l *lexer) lexNumber() (string, error) {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+		if l.pos >= len(l.src) || !unicode.IsDigit(rune(l.src[l.pos])) {
+			return "", fmt.Errorf("sql: lone '-' at position %d", start)
+		}
+	}
+	seenDot := false
+	for l.pos < len(l.src) {
+		ch := l.src[l.pos]
+		if unicode.IsDigit(rune(ch)) {
+			l.pos++
+			continue
+		}
+		if ch == '.' && !seenDot && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1])) {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		break
+	}
+	return l.src[start:l.pos], nil
+}
+
+func (l *lexer) lexIdent() {
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+}
+
+func isIdentStart(ch byte) bool {
+	return ch == '_' || (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z')
+}
+
+func isIdentPart(ch byte) bool {
+	return isIdentStart(ch) || (ch >= '0' && ch <= '9')
+}

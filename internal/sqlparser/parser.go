@@ -1,0 +1,380 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses one SPJ SELECT statement.
+func Parse(src string) (*SelectStmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF) {
+		return nil, fmt.Errorf("sql: unexpected %s after statement", p.cur())
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) at(kind tokenKind) bool { return p.cur().kind == kind }
+
+func (p *parser) atKeyword(kw string) bool {
+	return p.cur().kind == tokIdent && strings.EqualFold(p.cur().text, kw)
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.atKeyword(kw) {
+		return fmt.Errorf("sql: expected %s, found %s", strings.ToUpper(kw), p.cur())
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	if !p.at(kind) {
+		return token{}, fmt.Errorf("sql: expected %s, found %s", what, p.cur())
+	}
+	return p.next(), nil
+}
+
+var reservedWords = map[string]bool{
+	"select": true, "from": true, "where": true, "and": true, "as": true,
+	"group": true, "by": true, "order": true, "limit": true,
+	"asc": true, "desc": true, "exists": true, "not": true, "in": true,
+}
+
+// aggFuncs are the aggregate functions allowed in the select list.
+var aggFuncs = map[string]bool{
+	"count": true, "sum": true, "avg": true, "min": true, "max": true,
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{}
+	if p.at(tokStar) {
+		p.next()
+		stmt.Star = true
+	} else {
+		for {
+			item, err := p.parseSelectItem()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Items = append(stmt.Items, item)
+			if !p.at(tokComma) {
+				break
+			}
+			p.next()
+		}
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	for {
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		stmt.From = append(stmt.From, ref)
+		if !p.at(tokComma) {
+			break
+		}
+		p.next()
+	}
+	if p.atKeyword("where") {
+		p.next()
+		w, err := p.parseConjunction()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	}
+	if p.atKeyword("group") {
+		p.next()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, col)
+			if !p.at(tokComma) {
+				break
+			}
+			p.next()
+		}
+	}
+	if p.atKeyword("order") {
+		p.next()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.parseColumnRef()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Col: col}
+			if p.atKeyword("desc") {
+				p.next()
+				item.Desc = true
+			} else if p.atKeyword("asc") {
+				p.next()
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.at(tokComma) {
+				break
+			}
+			p.next()
+		}
+	}
+	if p.atKeyword("limit") {
+		p.next()
+		tok, err := p.expect(tokNumber, "row count after LIMIT")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.ParseInt(tok.text, 10, 64)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sql: bad LIMIT %s", tok)
+		}
+		stmt.Limit = &n
+	}
+	return stmt, nil
+}
+
+// parseSelectItem parses a column reference or aggregate call.
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.at(tokIdent) && aggFuncs[strings.ToLower(p.cur().text)] && p.toks[p.i+1].kind == tokLParen {
+		agg := strings.ToLower(p.next().text)
+		p.next() // (
+		item := SelectItem{Agg: agg}
+		if p.at(tokStar) {
+			if agg != "count" {
+				return SelectItem{}, fmt.Errorf("sql: %s(*) is not valid (only count(*))", agg)
+			}
+			p.next()
+			item.AggStar = true
+		} else {
+			col, err := p.parseColumnRef()
+			if err != nil {
+				return SelectItem{}, err
+			}
+			item.Col = col
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return SelectItem{}, err
+		}
+		return item, nil
+	}
+	col, err := p.parseColumnRef()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	return SelectItem{Col: col}, nil
+}
+
+func (p *parser) parseColumnRef() (ColumnRef, error) {
+	t, err := p.expect(tokIdent, "column name")
+	if err != nil {
+		return ColumnRef{}, err
+	}
+	if reservedWords[strings.ToLower(t.text)] {
+		return ColumnRef{}, fmt.Errorf("sql: reserved word %s used as column", t)
+	}
+	if p.at(tokDot) {
+		p.next()
+		if p.at(tokStar) {
+			return ColumnRef{}, fmt.Errorf("sql: qualified * is not supported")
+		}
+		col, err := p.expect(tokIdent, "column name after '.'")
+		if err != nil {
+			return ColumnRef{}, err
+		}
+		return ColumnRef{Qualifier: strings.ToLower(t.text), Column: strings.ToLower(col.text)}, nil
+	}
+	return ColumnRef{Column: strings.ToLower(t.text)}, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	t, err := p.expect(tokIdent, "table name")
+	if err != nil {
+		return TableRef{}, err
+	}
+	if reservedWords[strings.ToLower(t.text)] {
+		return TableRef{}, fmt.Errorf("sql: reserved word %s used as table", t)
+	}
+	ref := TableRef{Table: strings.ToLower(t.text)}
+	if p.atKeyword("as") {
+		p.next()
+	}
+	if p.at(tokIdent) && !reservedWords[strings.ToLower(p.cur().text)] {
+		ref.Alias = strings.ToLower(p.next().text)
+	}
+	return ref, nil
+}
+
+func (p *parser) parseConjunction() (Expr, error) {
+	left, err := p.parseComparison()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("and") {
+		p.next()
+		right, err := p.parseComparison()
+		if err != nil {
+			return nil, err
+		}
+		left = AndExpr{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	// [NOT] EXISTS (subquery)
+	not := false
+	if p.atKeyword("not") {
+		p.next()
+		not = true
+		if !p.atKeyword("exists") {
+			return nil, fmt.Errorf("sql: expected EXISTS after NOT, found %s", p.cur())
+		}
+	}
+	if p.atKeyword("exists") {
+		p.next()
+		sub, err := p.parseSubquery()
+		if err != nil {
+			return nil, err
+		}
+		return ExistsExpr{Not: not, Sub: sub}, nil
+	}
+
+	l, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	// <column> [NOT] IN (subquery)
+	if p.atKeyword("in") || p.atKeyword("not") {
+		notIn := false
+		if p.atKeyword("not") {
+			p.next()
+			notIn = true
+			if !p.atKeyword("in") {
+				return nil, fmt.Errorf("sql: expected IN after NOT, found %s", p.cur())
+			}
+		}
+		p.next() // IN
+		col, ok := l.(ColumnRef)
+		if !ok {
+			return nil, fmt.Errorf("sql: the left side of IN must be a column")
+		}
+		sub, err := p.parseSubquery()
+		if err != nil {
+			return nil, err
+		}
+		return InExpr{Col: col, Not: notIn, Sub: sub}, nil
+	}
+	op, err := p.expect(tokOp, "comparison operator")
+	if err != nil {
+		return nil, err
+	}
+	r, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	return Comparison{Op: op.text, L: l, R: r}, nil
+}
+
+// parseSubquery parses "(select ...)".
+func (p *parser) parseSubquery() (*SelectStmt, error) {
+	if _, err := p.expect(tokLParen, "'(' before subquery"); err != nil {
+		return nil, err
+	}
+	sub, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen, "')' after subquery"); err != nil {
+		return nil, err
+	}
+	return sub, nil
+}
+
+func (p *parser) parseOperand() (Expr, error) {
+	switch {
+	case p.at(tokNumber):
+		t := p.next()
+		if strings.Contains(t.text, ".") {
+			v, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sql: bad number %s: %w", t, err)
+			}
+			return FloatLit{V: v}, nil
+		}
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad number %s: %w", t, err)
+		}
+		return IntLit{V: v}, nil
+	case p.at(tokString):
+		return StrLit{V: p.next().text}, nil
+	case p.at(tokIdent):
+		if reservedWords[strings.ToLower(p.cur().text)] {
+			return nil, fmt.Errorf("sql: unexpected %s in expression", p.cur())
+		}
+		name := p.next()
+		// Function call?
+		if p.at(tokLParen) {
+			p.next()
+			var args []Expr
+			if !p.at(tokRParen) {
+				for {
+					a, err := p.parseOperand()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if !p.at(tokComma) {
+						break
+					}
+					p.next()
+				}
+			}
+			if _, err := p.expect(tokRParen, "')'"); err != nil {
+				return nil, err
+			}
+			return FuncCall{Name: strings.ToLower(name.text), Args: args}, nil
+		}
+		// Qualified column?
+		if p.at(tokDot) {
+			p.next()
+			col, err := p.expect(tokIdent, "column name after '.'")
+			if err != nil {
+				return nil, err
+			}
+			return ColumnRef{Qualifier: strings.ToLower(name.text), Column: strings.ToLower(col.text)}, nil
+		}
+		return ColumnRef{Column: strings.ToLower(name.text)}, nil
+	default:
+		return nil, fmt.Errorf("sql: expected expression, found %s", p.cur())
+	}
+}

@@ -1,0 +1,197 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *SelectStmt {
+	t.Helper()
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return stmt
+}
+
+func TestParseQ1(t *testing.T) {
+	stmt := mustParse(t, "select * from lineitem;")
+	if !stmt.Star || len(stmt.From) != 1 || stmt.From[0].Table != "lineitem" || stmt.Where != nil {
+		t.Fatalf("Q1 parse: %+v", stmt)
+	}
+}
+
+// The paper's Q2, verbatim.
+func TestParseQ2(t *testing.T) {
+	stmt := mustParse(t, `
+		select c.custkey, c.acctbal, o.orderkey, o.totalprice, l.discount, l.extendedprice
+		from customer c, orders o, lineitem l
+		where c.custkey=o.custkey and o.orderkey=l.orderkey and absolute(l.partkey)>0`)
+	if len(stmt.Items) != 6 {
+		t.Fatalf("Q2 select list: %v", stmt.Items)
+	}
+	if stmt.Items[0].Col != (ColumnRef{Qualifier: "c", Column: "custkey"}) || stmt.Items[0].Agg != "" {
+		t.Fatalf("item 0 = %+v", stmt.Items[0])
+	}
+	if len(stmt.From) != 3 || stmt.From[1].Binding() != "o" {
+		t.Fatalf("Q2 from: %+v", stmt.From)
+	}
+	// Where must flatten to three conjuncts with the function call last.
+	var conjuncts []Expr
+	var walk func(Expr)
+	walk = func(e Expr) {
+		if a, ok := e.(AndExpr); ok {
+			walk(a.L)
+			walk(a.R)
+			return
+		}
+		conjuncts = append(conjuncts, e)
+	}
+	walk(stmt.Where)
+	if len(conjuncts) != 3 {
+		t.Fatalf("Q2 conjuncts: %d", len(conjuncts))
+	}
+	last, ok := conjuncts[2].(Comparison)
+	if !ok {
+		t.Fatalf("conjunct 2: %T", conjuncts[2])
+	}
+	fc, ok := last.L.(FuncCall)
+	if !ok || fc.Name != "absolute" || len(fc.Args) != 1 {
+		t.Fatalf("function call: %+v", last.L)
+	}
+}
+
+// The paper's Q3 (self-join with alias o1, o2).
+func TestParseQ3SelfJoin(t *testing.T) {
+	stmt := mustParse(t, `
+		select c.custkey, c.acctbal, o1.orderkey, o1.totalprice, o2.totalprice
+		from customer c, orders o1, orders o2
+		where c.custkey=o1.custkey and o1.orderkey=o2.orderkey and c.nationkey<10`)
+	if len(stmt.From) != 3 {
+		t.Fatalf("from: %+v", stmt.From)
+	}
+	if stmt.From[1].Binding() != "o1" || stmt.From[2].Binding() != "o2" {
+		t.Fatalf("aliases: %+v", stmt.From)
+	}
+	if stmt.From[1].Table != "orders" || stmt.From[2].Table != "orders" {
+		t.Fatal("self-join tables wrong")
+	}
+}
+
+// The paper's Q5 uses <>.
+func TestParseQ5NotEquals(t *testing.T) {
+	stmt := mustParse(t, `select * from customer_subset1 c1, customer_subset2 c2 where c1.custkey<>c2.custkey`)
+	cmp, ok := stmt.Where.(Comparison)
+	if !ok || cmp.Op != "<>" {
+		t.Fatalf("where: %+v", stmt.Where)
+	}
+	// != is an alias.
+	stmt2 := mustParse(t, `select * from a, b where a.x != b.y`)
+	if stmt2.Where.(Comparison).Op != "<>" {
+		t.Fatal("!= must normalize to <>")
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	for _, op := range []string{"=", "<>", "<", "<=", ">", ">="} {
+		stmt := mustParse(t, "select * from t where a "+op+" 5")
+		if got := stmt.Where.(Comparison).Op; got != op {
+			t.Fatalf("op %q parsed as %q", op, got)
+		}
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	stmt := mustParse(t, "select * from t where a = -42 and b = 2.5 and c = 'O''Brien'")
+	var lits []Expr
+	var walk func(Expr)
+	walk = func(e Expr) {
+		if a, ok := e.(AndExpr); ok {
+			walk(a.L)
+			walk(a.R)
+			return
+		}
+		lits = append(lits, e.(Comparison).R)
+	}
+	walk(stmt.Where)
+	if lits[0].(IntLit).V != -42 {
+		t.Fatalf("int lit: %+v", lits[0])
+	}
+	if lits[1].(FloatLit).V != 2.5 {
+		t.Fatalf("float lit: %+v", lits[1])
+	}
+	if lits[2].(StrLit).V != "O'Brien" {
+		t.Fatalf("string lit: %+v", lits[2])
+	}
+}
+
+func TestParseAsAlias(t *testing.T) {
+	stmt := mustParse(t, "select * from customer as c")
+	if stmt.From[0].Alias != "c" {
+		t.Fatalf("AS alias: %+v", stmt.From[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"insert into t values (1)",
+		"select from t",
+		"select a from",
+		"select a, from t",
+		"select * from t where",
+		"select * from t where a",
+		"select * from t where a = ",
+		"select * from t where a = 5 and",
+		"select * from t where a = 'unterminated",
+		"select * from t where a @ 5",
+		"select * from t where a ! 5",
+		"select * from t where a = -",
+		"select * from t where absolute(a = 5",
+		"select t.* from t",
+		"select select from t",
+		"select * from select",
+		"select * from t where select = 1",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		"SELECT * FROM lineitem",
+		"SELECT c.custkey, o.orderkey FROM customer c, orders o WHERE c.custkey = o.custkey",
+		"SELECT * FROM t WHERE absolute(x) > 0 AND y < 10",
+	}
+	for _, src := range srcs {
+		stmt := mustParse(t, src)
+		re, err := Parse(stmt.String())
+		if err != nil {
+			t.Fatalf("reparse of %q (%q): %v", src, stmt.String(), err)
+		}
+		if re.String() != stmt.String() {
+			t.Fatalf("round trip: %q != %q", re.String(), stmt.String())
+		}
+	}
+}
+
+func TestCaseInsensitivity(t *testing.T) {
+	stmt := mustParse(t, "SELECT C.CustKey FROM Customer C WHERE C.NationKey < 10")
+	if stmt.Items[0].Col.Qualifier != "c" || stmt.Items[0].Col.Column != "custkey" {
+		t.Fatalf("identifiers must lower-case: %+v", stmt.Items[0])
+	}
+	if !strings.EqualFold(stmt.From[0].Table, "customer") {
+		t.Fatalf("table: %+v", stmt.From[0])
+	}
+}
+
+func TestFunctionWithMultipleArgs(t *testing.T) {
+	stmt := mustParse(t, "select * from t where mod(a, 10) = 3")
+	fc := stmt.Where.(Comparison).L.(FuncCall)
+	if fc.Name != "mod" || len(fc.Args) != 2 {
+		t.Fatalf("mod call: %+v", fc)
+	}
+}

@@ -1,0 +1,78 @@
+package sqlparser
+
+import "testing"
+
+func TestParseExists(t *testing.T) {
+	stmt := mustParse(t, `
+		select c.custkey from customer c
+		where c.nationkey < 10 and exists (select * from orders o where o.custkey = c.custkey)`)
+	conj, ok := stmt.Where.(AndExpr)
+	if !ok {
+		t.Fatalf("where: %T", stmt.Where)
+	}
+	ex, ok := conj.R.(ExistsExpr)
+	if !ok || ex.Not {
+		t.Fatalf("right conjunct: %+v", conj.R)
+	}
+	if len(ex.Sub.From) != 1 || ex.Sub.From[0].Table != "orders" {
+		t.Fatalf("subquery from: %+v", ex.Sub.From)
+	}
+}
+
+func TestParseNotExists(t *testing.T) {
+	stmt := mustParse(t,
+		"select * from customer c where not exists (select * from orders o where o.custkey = c.custkey)")
+	ex, ok := stmt.Where.(ExistsExpr)
+	if !ok || !ex.Not {
+		t.Fatalf("where: %+v", stmt.Where)
+	}
+}
+
+func TestParseInSubquery(t *testing.T) {
+	stmt := mustParse(t,
+		"select * from customer where custkey in (select custkey from orders where shippriority = 0)")
+	in, ok := stmt.Where.(InExpr)
+	if !ok || in.Not || in.Col.Column != "custkey" {
+		t.Fatalf("where: %+v", stmt.Where)
+	}
+	if len(in.Sub.Items) != 1 || in.Sub.Items[0].Col.Column != "custkey" {
+		t.Fatalf("sub items: %+v", in.Sub.Items)
+	}
+	stmt2 := mustParse(t,
+		"select * from customer where custkey not in (select custkey from orders)")
+	if in2 := stmt2.Where.(InExpr); !in2.Not {
+		t.Fatalf("not in: %+v", in2)
+	}
+}
+
+func TestSubqueryStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		"SELECT c.custkey FROM customer c WHERE EXISTS (SELECT * FROM orders o WHERE o.custkey = c.custkey)",
+		"SELECT * FROM customer WHERE custkey NOT IN (SELECT custkey FROM orders)",
+	}
+	for _, src := range srcs {
+		stmt := mustParse(t, src)
+		re, err := Parse(stmt.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", stmt.String(), err)
+		}
+		if re.String() != stmt.String() {
+			t.Fatalf("round trip: %q != %q", re.String(), stmt.String())
+		}
+	}
+}
+
+func TestSubqueryParseErrors(t *testing.T) {
+	bad := []string{
+		"select * from t where exists select * from u",
+		"select * from t where exists (select * from u",
+		"select * from t where not (a = 1)",
+		"select * from t where 5 in (select a from u)",
+		"select * from t where a not (select a from u)",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}

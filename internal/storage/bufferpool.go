@@ -1,0 +1,159 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// BufferPool is a page cache with LRU replacement in front of the
+// simulated disk. Reads that hit the pool cost nothing (the page is
+// memory-resident); misses charge disk I/O. Dirty pages charge a write
+// when evicted or flushed. A cold pool is how the paper's restart-per-test
+// methodology is reproduced; warm-cache variants simply reuse the pool.
+type BufferPool struct {
+	disk     *Disk
+	capacity int
+
+	frames map[PageID]*list.Element
+	lru    *list.List // front = most recently used
+
+	hits, misses int64
+}
+
+type frame struct {
+	pid   PageID
+	data  []byte
+	dirty bool
+}
+
+// NewBufferPool creates a pool of capacity pages over disk.
+func NewBufferPool(disk *Disk, capacity int) *BufferPool {
+	if capacity < 1 {
+		panic("storage: buffer pool capacity must be >= 1")
+	}
+	return &BufferPool{
+		disk:     disk,
+		capacity: capacity,
+		frames:   make(map[PageID]*list.Element),
+		lru:      list.New(),
+	}
+}
+
+// Disk returns the underlying disk.
+func (bp *BufferPool) Disk() *Disk { return bp.disk }
+
+// Capacity returns the pool size in pages.
+func (bp *BufferPool) Capacity() int { return bp.capacity }
+
+// HitRate returns hits/(hits+misses), or 0 before any access.
+func (bp *BufferPool) HitRate() float64 {
+	total := bp.hits + bp.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(bp.hits) / float64(total)
+}
+
+// Get returns the page's contents, reading through to disk on a miss.
+// The returned slice is the cached page; callers must not retain it across
+// further pool operations if they will mutate it (use Put for writes).
+func (bp *BufferPool) Get(pid PageID) ([]byte, error) {
+	if el, ok := bp.frames[pid]; ok {
+		bp.hits++
+		bp.lru.MoveToFront(el)
+		return el.Value.(*frame).data, nil
+	}
+	bp.misses++
+	data, err := bp.disk.readPage(pid)
+	if err != nil {
+		return nil, err
+	}
+	// Cache a private copy so in-pool mutation never aliases disk state.
+	buf := make([]byte, PageSize)
+	copy(buf, data)
+	if err := bp.insert(&frame{pid: pid, data: buf}); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Put stores data as the new contents of pid, marking it dirty. data must
+// be PageSize bytes. The write reaches disk on eviction or Flush; a write
+// at pid.Num == NumPages extends the file immediately (so the file length
+// is visible to readers) but still counts its I/O on the initial write.
+func (bp *BufferPool) Put(pid PageID, data []byte) error {
+	if len(data) != PageSize {
+		return fmt.Errorf("storage: Put of %d bytes, want %d", len(data), PageSize)
+	}
+	if el, ok := bp.frames[pid]; ok {
+		fr := el.Value.(*frame)
+		copy(fr.data, data)
+		fr.dirty = true
+		bp.lru.MoveToFront(el)
+		return nil
+	}
+	// Write through to establish the page on disk (this is where the write
+	// I/O is charged), then cache it clean.
+	buf := make([]byte, PageSize)
+	copy(buf, data)
+	if err := bp.disk.writePage(pid, buf); err != nil {
+		return err
+	}
+	return bp.insert(&frame{pid: pid, data: append([]byte(nil), buf...)})
+}
+
+func (bp *BufferPool) insert(fr *frame) error {
+	el := bp.lru.PushFront(fr)
+	bp.frames[fr.pid] = el
+	if bp.lru.Len() > bp.capacity {
+		victim := bp.lru.Back()
+		if victim == nil {
+			return nil
+		}
+		vf := victim.Value.(*frame)
+		bp.lru.Remove(victim)
+		delete(bp.frames, vf.pid)
+		if vf.dirty {
+			if err := bp.disk.writePage(vf.pid, vf.data); err != nil {
+				return fmt.Errorf("storage: evicting %v: %w", vf.pid, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Flush writes back all dirty pages, leaving them cached clean.
+func (bp *BufferPool) Flush() error {
+	for el := bp.lru.Back(); el != nil; el = el.Prev() {
+		fr := el.Value.(*frame)
+		if fr.dirty {
+			if err := bp.disk.writePage(fr.pid, fr.data); err != nil {
+				return err
+			}
+			fr.dirty = false
+		}
+	}
+	return nil
+}
+
+// DropFile removes all cached pages of a file without writing them back;
+// used when temp files are deleted.
+func (bp *BufferPool) DropFile(id FileID) {
+	for el := bp.lru.Front(); el != nil; {
+		next := el.Next()
+		if fr := el.Value.(*frame); fr.pid.File == id {
+			bp.lru.Remove(el)
+			delete(bp.frames, fr.pid)
+		}
+		el = next
+	}
+}
+
+// Clear empties the pool without write-back (a simulated restart, for the
+// paper's cold-buffer-pool methodology). Dirty page loss is intentional:
+// callers Flush first if they care.
+func (bp *BufferPool) Clear() {
+	bp.frames = make(map[PageID]*list.Element)
+	bp.lru = list.New()
+	bp.hits, bp.misses = 0, 0
+}

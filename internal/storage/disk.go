@@ -1,0 +1,155 @@
+// Package storage implements the simulated storage substrate: a paged
+// disk whose I/O is charged to the virtual clock, an LRU buffer pool, and
+// tuple-oriented heap files and temp files built on top.
+//
+// The paper's progress indicator defines its work unit U as "one page of
+// bytes processed"; this package is where pages, and the sequential/random
+// I/O cost distinction that shapes the execution-speed figures, live.
+package storage
+
+import (
+	"fmt"
+
+	"progressdb/internal/vclock"
+)
+
+// PageSize is the size of a disk page in bytes. U in the progress
+// indicator is one page of bytes.
+const PageSize = 8192
+
+// FileID identifies a file on the simulated disk.
+type FileID int32
+
+// PageID identifies one page of one file.
+type PageID struct {
+	File FileID
+	Num  int32
+}
+
+func (p PageID) String() string { return fmt.Sprintf("%d:%d", p.File, p.Num) }
+
+// RID is a record identifier: a page plus a slot within the page.
+type RID struct {
+	Page PageID
+	Slot uint16
+}
+
+// DiskStats counts physical I/Os actually performed (buffer-pool misses
+// and write-backs), split by access pattern.
+type DiskStats struct {
+	SeqReads   int64
+	RandReads  int64
+	SeqWrites  int64
+	RandWrites int64
+}
+
+// Reads returns total physical page reads.
+func (s DiskStats) Reads() int64 { return s.SeqReads + s.RandReads }
+
+// Writes returns total physical page writes.
+func (s DiskStats) Writes() int64 { return s.SeqWrites + s.RandWrites }
+
+// file is one simulated on-disk file: a growable array of pages.
+type file struct {
+	pages    [][]byte
+	lastRead int32 // last physically read page number, for sequential detection
+	lastWrit int32
+}
+
+// Disk simulates a disk drive. Every physical page access charges the
+// virtual clock: sequential accesses (page N+1 after page N of the same
+// file) at the sequential rate, others at the random rate.
+type Disk struct {
+	clock *vclock.Clock
+	files map[FileID]*file
+	next  FileID
+	stats DiskStats
+}
+
+// NewDisk creates an empty simulated disk charging I/O to clock.
+func NewDisk(clock *vclock.Clock) *Disk {
+	return &Disk{clock: clock, files: make(map[FileID]*file)}
+}
+
+// Clock returns the clock this disk charges.
+func (d *Disk) Clock() *vclock.Clock { return d.clock }
+
+// Stats returns a copy of the physical I/O counters.
+func (d *Disk) Stats() DiskStats { return d.stats }
+
+// Create allocates a new empty file.
+func (d *Disk) Create() FileID {
+	id := d.next
+	d.next++
+	d.files[id] = &file{lastRead: -2, lastWrit: -2}
+	return id
+}
+
+// Remove deletes a file and frees its pages. Removing a nonexistent file
+// is an error (it indicates an executor bug).
+func (d *Disk) Remove(id FileID) error {
+	if _, ok := d.files[id]; !ok {
+		return fmt.Errorf("storage: remove of unknown file %d", id)
+	}
+	delete(d.files, id)
+	return nil
+}
+
+// NumPages returns the number of pages in the file.
+func (d *Disk) NumPages(id FileID) (int, error) {
+	f, ok := d.files[id]
+	if !ok {
+		return 0, fmt.Errorf("storage: unknown file %d", id)
+	}
+	return len(f.pages), nil
+}
+
+// readPage performs a physical read, charging the clock.
+func (d *Disk) readPage(pid PageID) ([]byte, error) {
+	f, ok := d.files[pid.File]
+	if !ok {
+		return nil, fmt.Errorf("storage: read from unknown file %d", pid.File)
+	}
+	if int(pid.Num) >= len(f.pages) || pid.Num < 0 {
+		return nil, fmt.Errorf("storage: read past EOF: page %v of %d", pid, len(f.pages))
+	}
+	if pid.Num == f.lastRead+1 {
+		d.clock.ChargeSeqIO(1)
+		d.stats.SeqReads++
+	} else {
+		d.clock.ChargeRandIO(1)
+		d.stats.RandReads++
+	}
+	f.lastRead = pid.Num
+	return f.pages[pid.Num], nil
+}
+
+// writePage performs a physical write, charging the clock. Writing at
+// page == NumPages extends the file.
+func (d *Disk) writePage(pid PageID, data []byte) error {
+	f, ok := d.files[pid.File]
+	if !ok {
+		return fmt.Errorf("storage: write to unknown file %d", pid.File)
+	}
+	if len(data) != PageSize {
+		return fmt.Errorf("storage: write of %d bytes, want %d", len(data), PageSize)
+	}
+	switch {
+	case int(pid.Num) < len(f.pages):
+		// Overwrite in place.
+	case int(pid.Num) == len(f.pages):
+		f.pages = append(f.pages, nil)
+	default:
+		return fmt.Errorf("storage: write creates hole: page %v of %d", pid, len(f.pages))
+	}
+	if pid.Num == f.lastWrit+1 {
+		d.clock.ChargeSeqIO(1)
+		d.stats.SeqWrites++
+	} else {
+		d.clock.ChargeRandIO(1)
+		d.stats.RandWrites++
+	}
+	f.lastWrit = pid.Num
+	f.pages[pid.Num] = data
+	return nil
+}

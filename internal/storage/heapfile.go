@@ -1,0 +1,237 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Heap-file page layout:
+//
+//	[0:2]  uint16 tuple count
+//	[2:4]  uint16 end of used space
+//	[4:]   records, back to back: uint16 length + payload
+//
+// Records are addressed by ordinal slot within the page; pages never
+// contain holes (this engine does not delete individual tuples, matching
+// the read-only workloads of the paper's evaluation).
+const pageHeaderSize = 4
+
+// recordOverhead is the per-record length prefix.
+const recordOverhead = 2
+
+// MaxRecordSize is the largest payload that fits in one page.
+const MaxRecordSize = PageSize - pageHeaderSize - recordOverhead
+
+// HeapFile stores variable-length records in pages, accessed through the
+// buffer pool. It serves both base relations and the engine's temp files
+// (sort runs, hash-join partitions).
+type HeapFile struct {
+	pool *BufferPool
+	id   FileID
+
+	// Append state: the page being filled, not yet written.
+	cur      []byte
+	curCount uint16
+	curUsed  uint16
+	curPage  int32
+	nrecords int64
+}
+
+// CreateHeapFile allocates a new empty heap file on the pool's disk.
+func CreateHeapFile(pool *BufferPool) *HeapFile {
+	return &HeapFile{pool: pool, id: pool.Disk().Create(), curPage: -1}
+}
+
+// OpenHeapFile reopens an existing file for scanning. Appending to a
+// reopened file is not supported.
+func OpenHeapFile(pool *BufferPool, id FileID) (*HeapFile, error) {
+	n, err := pool.Disk().NumPages(id)
+	if err != nil {
+		return nil, err
+	}
+	hf := &HeapFile{pool: pool, id: id, curPage: -1}
+	// Recount records for Len; cheap because it reads headers via the pool.
+	for p := 0; p < n; p++ {
+		page, err := pool.Get(PageID{File: id, Num: int32(p)})
+		if err != nil {
+			return nil, err
+		}
+		hf.nrecords += int64(binary.LittleEndian.Uint16(page[0:2]))
+	}
+	return hf, nil
+}
+
+// ID returns the underlying file id.
+func (hf *HeapFile) ID() FileID { return hf.id }
+
+// Len returns the number of records appended so far.
+func (hf *HeapFile) Len() int64 { return hf.nrecords }
+
+// NumPages returns the number of pages, counting the partially filled
+// append page.
+func (hf *HeapFile) NumPages() int {
+	n, err := hf.pool.Disk().NumPages(hf.id)
+	if err != nil {
+		return 0
+	}
+	if hf.cur != nil {
+		n++
+	}
+	return n
+}
+
+// Append adds a record and returns its RID.
+func (hf *HeapFile) Append(rec []byte) (RID, error) {
+	if len(rec) > MaxRecordSize {
+		return RID{}, fmt.Errorf("storage: record of %d bytes exceeds max %d", len(rec), MaxRecordSize)
+	}
+	need := uint16(len(rec) + recordOverhead)
+	if hf.cur == nil {
+		hf.startPage()
+	}
+	if PageSize-int(hf.curUsed) < int(need) {
+		if err := hf.flushCur(); err != nil {
+			return RID{}, err
+		}
+		hf.startPage()
+	}
+	binary.LittleEndian.PutUint16(hf.cur[hf.curUsed:], uint16(len(rec)))
+	copy(hf.cur[hf.curUsed+recordOverhead:], rec)
+	rid := RID{Page: PageID{File: hf.id, Num: hf.curPage}, Slot: hf.curCount}
+	hf.curUsed += need
+	hf.curCount++
+	hf.nrecords++
+	return rid, nil
+}
+
+func (hf *HeapFile) startPage() {
+	hf.cur = make([]byte, PageSize)
+	hf.curCount = 0
+	hf.curUsed = pageHeaderSize
+	n, _ := hf.pool.Disk().NumPages(hf.id)
+	hf.curPage = int32(n)
+}
+
+func (hf *HeapFile) flushCur() error {
+	if hf.cur == nil {
+		return nil
+	}
+	binary.LittleEndian.PutUint16(hf.cur[0:2], hf.curCount)
+	binary.LittleEndian.PutUint16(hf.cur[2:4], hf.curUsed)
+	err := hf.pool.Put(PageID{File: hf.id, Num: hf.curPage}, hf.cur)
+	hf.cur = nil
+	return err
+}
+
+// Sync flushes the partially filled append page so all records are
+// readable. Call once after loading; further appends start a new page.
+func (hf *HeapFile) Sync() error { return hf.flushCur() }
+
+// Drop removes the file from disk and the buffer pool.
+func (hf *HeapFile) Drop() error {
+	hf.pool.DropFile(hf.id)
+	hf.cur = nil
+	return hf.pool.Disk().Remove(hf.id)
+}
+
+// Fetch returns the record stored at rid (a copy).
+func (hf *HeapFile) Fetch(rid RID) ([]byte, error) {
+	page, err := hf.pool.Get(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	count := binary.LittleEndian.Uint16(page[0:2])
+	if rid.Slot >= count {
+		return nil, fmt.Errorf("storage: slot %d out of range (page has %d)", rid.Slot, count)
+	}
+	off := pageHeaderSize
+	for s := uint16(0); ; s++ {
+		l := int(binary.LittleEndian.Uint16(page[off:]))
+		if s == rid.Slot {
+			rec := make([]byte, l)
+			copy(rec, page[off+recordOverhead:off+recordOverhead+l])
+			return rec, nil
+		}
+		off += recordOverhead + l
+	}
+}
+
+// UpdateAt overwrites the record at rid in place. The new record must
+// have exactly the original's length (fixed-width updates, e.g. numeric
+// fields, satisfy this; the transaction layer enforces it).
+func (hf *HeapFile) UpdateAt(rid RID, rec []byte) error {
+	page, err := hf.pool.Get(rid.Page)
+	if err != nil {
+		return err
+	}
+	count := binary.LittleEndian.Uint16(page[0:2])
+	if rid.Slot >= count {
+		return fmt.Errorf("storage: update of slot %d out of range (page has %d)", rid.Slot, count)
+	}
+	buf := make([]byte, PageSize)
+	copy(buf, page)
+	off := pageHeaderSize
+	for s := uint16(0); ; s++ {
+		l := int(binary.LittleEndian.Uint16(buf[off:]))
+		if s == rid.Slot {
+			if len(rec) != l {
+				return fmt.Errorf("storage: update changes record length (%d -> %d)", l, len(rec))
+			}
+			copy(buf[off+recordOverhead:], rec)
+			return hf.pool.Put(rid.Page, buf)
+		}
+		off += recordOverhead + l
+	}
+}
+
+// Scanner iterates over all records of a heap file in storage order.
+type Scanner struct {
+	hf      *HeapFile
+	npages  int
+	pageNum int32
+	page    []byte
+	count   uint16
+	slot    uint16
+	off     int
+	err     error
+}
+
+// NewScanner returns a scanner positioned before the first record. The
+// file must be Synced.
+func (hf *HeapFile) NewScanner() *Scanner {
+	n, err := hf.pool.Disk().NumPages(hf.id)
+	s := &Scanner{hf: hf, npages: n, pageNum: -1, err: err}
+	return s
+}
+
+// Next returns the next record and its RID, or ok=false at end of file or
+// on error (check Err).
+func (s *Scanner) Next() (rec []byte, rid RID, ok bool) {
+	if s.err != nil {
+		return nil, RID{}, false
+	}
+	for s.page == nil || s.slot >= s.count {
+		s.pageNum++
+		if int(s.pageNum) >= s.npages {
+			return nil, RID{}, false
+		}
+		page, err := s.hf.pool.Get(PageID{File: s.hf.id, Num: s.pageNum})
+		if err != nil {
+			s.err = err
+			return nil, RID{}, false
+		}
+		s.page = page
+		s.count = binary.LittleEndian.Uint16(page[0:2])
+		s.slot = 0
+		s.off = pageHeaderSize
+	}
+	l := int(binary.LittleEndian.Uint16(s.page[s.off:]))
+	rec = s.page[s.off+recordOverhead : s.off+recordOverhead+l]
+	rid = RID{Page: PageID{File: s.hf.id, Num: s.pageNum}, Slot: s.slot}
+	s.off += recordOverhead + l
+	s.slot++
+	return rec, rid, true
+}
+
+// Err returns the first error encountered while scanning.
+func (s *Scanner) Err() error { return s.err }

@@ -1,0 +1,161 @@
+package tuple
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSchemaBasics(t *testing.T) {
+	s := NewSchema(
+		Column{Name: "custkey", Type: Int},
+		Column{Name: "name", Type: String},
+		Column{Name: "acctbal", Type: Float},
+	)
+	if s.Arity() != 3 {
+		t.Fatalf("arity = %d", s.Arity())
+	}
+	if s.ColIndex("NAME") != 1 {
+		t.Fatal("ColIndex must be case-insensitive")
+	}
+	if s.ColIndex("missing") != -1 {
+		t.Fatal("missing column must return -1")
+	}
+	p := s.Project([]int{2, 0})
+	if p.Cols[0].Name != "acctbal" || p.Cols[1].Name != "custkey" {
+		t.Fatalf("projection wrong: %v", p)
+	}
+	c := s.Concat(p)
+	if c.Arity() != 5 {
+		t.Fatalf("concat arity = %d", c.Arity())
+	}
+	if got := s.String(); got != "(custkey INT, name TEXT, acctbal FLOAT)" {
+		t.Fatalf("schema string = %q", got)
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewInt(2), NewFloat(2.5), -1},
+		{NewFloat(2.5), NewInt(2), 1},
+		{NewString("abc"), NewString("abd"), -1},
+		{NewString("abc"), NewString("abc"), 0},
+	}
+	for _, c := range cases {
+		got, err := c.a.Compare(c.b)
+		if err != nil || got != c.want {
+			t.Fatalf("Compare(%v,%v) = %d,%v want %d", c.a, c.b, got, err, c.want)
+		}
+	}
+	if _, err := NewString("x").Compare(NewInt(1)); err == nil {
+		t.Fatal("string vs int must be a type error")
+	}
+	if _, err := NewInt(1).Compare(NewString("x")); err == nil {
+		t.Fatal("int vs string must be a type error")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	in := Tuple{NewInt(-42), NewFloat(math.Pi), NewString("hello, world"), NewString(""), NewInt(math.MaxInt64)}
+	enc := in.Encode(nil)
+	if len(enc) != in.EncodedSize() {
+		t.Fatalf("EncodedSize = %d, actual = %d", in.EncodedSize(), len(enc))
+	}
+	out, err := Decode(enc, len(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: %v != %v", in, out)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	enc := Tuple{NewInt(1), NewString("abc")}.Encode(nil)
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := Decode(enc[:cut], 2); err == nil {
+			t.Fatalf("truncated decode at %d must fail", cut)
+		}
+	}
+	bad := append([]byte{}, enc...)
+	bad[0] = 99
+	if _, err := Decode(bad, 2); err == nil {
+		t.Fatal("bad type tag must fail")
+	}
+}
+
+func TestCloneAndConcat(t *testing.T) {
+	a := Tuple{NewInt(1), NewString("x")}
+	b := a.Clone()
+	b[0] = NewInt(9)
+	if a[0].I != 1 {
+		t.Fatal("Clone must not alias")
+	}
+	c := a.Concat(Tuple{NewFloat(2.5)})
+	if len(c) != 3 || c[2].F != 2.5 {
+		t.Fatalf("concat = %v", c)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	tt := Tuple{NewInt(7), NewFloat(1.5), NewString("hi")}
+	if got := tt.String(); got != "(7, 1.5, hi)" {
+		t.Fatalf("tuple string = %q", got)
+	}
+	if Int.String() != "INT" || Float.String() != "FLOAT" || String.String() != "TEXT" {
+		t.Fatal("type names changed")
+	}
+}
+
+// Property: encode/decode round-trips arbitrary tuples.
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(ints []int64, floats []float64, strs []string) bool {
+		var in Tuple
+		for _, v := range ints {
+			in = append(in, NewInt(v))
+		}
+		for _, v := range floats {
+			if math.IsNaN(v) {
+				continue // NaN != NaN under DeepEqual; not a storable SQL value here
+			}
+			in = append(in, NewFloat(v))
+		}
+		for _, v := range strs {
+			in = append(in, NewString(v))
+		}
+		enc := in.Encode(nil)
+		if len(enc) != in.EncodedSize() {
+			return false
+		}
+		out, err := Decode(enc, len(in))
+		if err != nil {
+			return false
+		}
+		if len(in) == 0 {
+			return len(out) == 0
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Compare is antisymmetric on ints.
+func TestPropertyCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		x, _ := NewInt(a).Compare(NewInt(b))
+		y, _ := NewInt(b).Compare(NewInt(a))
+		return x == -y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,161 @@
+package txn
+
+import (
+	"math"
+
+	"progressdb/internal/vclock"
+)
+
+// RollbackSnapshot is one refresh of the rollback progress display:
+// the [15] method's outputs.
+type RollbackSnapshot struct {
+	// Time is the virtual time of the snapshot.
+	Time float64
+	// Total is the number of update log records to roll back.
+	Total int
+	// Undone counts records rolled back so far.
+	Undone int
+	// Percent completed.
+	Percent float64
+	// SpeedRecPerSec is the observed rollback speed over the trailing
+	// window.
+	SpeedRecPerSec float64
+	// RemainingSeconds is remaining records over observed speed.
+	RemainingSeconds float64
+	// Finished marks the final snapshot.
+	Finished bool
+}
+
+// RollbackMonitor estimates remaining rollback time by monitoring the
+// number of update log records not yet rolled back and the speed at
+// which records are being rolled back — the method of the paper's
+// reference [15], built on the same windowed speed estimation as the
+// query progress indicator.
+type RollbackMonitor struct {
+	clock  *vclock.Clock
+	window float64
+	period float64
+
+	total  int
+	undone int
+	startT float64
+
+	samples []rollbackSample
+	ticker  *vclock.Ticker
+
+	snapshots   []RollbackSnapshot
+	subscribers []func(RollbackSnapshot)
+	finished    bool
+}
+
+type rollbackSample struct {
+	t   float64
+	cum int
+}
+
+// NewRollbackMonitor creates a monitor sampling every period virtual
+// seconds with the given speed window (both default to the query
+// indicator's 10 s when <= 0).
+func NewRollbackMonitor(clock *vclock.Clock, period, window float64) *RollbackMonitor {
+	if period <= 0 {
+		period = 10
+	}
+	if window <= 0 {
+		window = 10
+	}
+	return &RollbackMonitor{clock: clock, window: window, period: period}
+}
+
+// Subscribe registers fn for every snapshot.
+func (m *RollbackMonitor) Subscribe(fn func(RollbackSnapshot)) {
+	m.subscribers = append(m.subscribers, fn)
+}
+
+// Snapshots returns the recorded history.
+func (m *RollbackMonitor) Snapshots() []RollbackSnapshot { return m.snapshots }
+
+func (m *RollbackMonitor) begin(total int) {
+	m.total = total
+	m.undone = 0
+	m.finished = false
+	m.startT = m.clock.Now()
+	m.samples = append(m.samples[:0], rollbackSample{t: m.startT})
+	m.ticker = m.clock.AddTicker(m.period, func(float64) { m.snapshot(false) })
+}
+
+func (m *RollbackMonitor) recordUndone() {
+	m.undone++
+	// Sampling at the monitor period is driven by the ticker; keep a
+	// fine-grained sample per record for the window (records are coarse
+	// events already).
+	m.samples = append(m.samples, rollbackSample{t: m.clock.Now(), cum: m.undone})
+	cutoff := m.clock.Now() - m.window
+	firstKeep := 0
+	for i := len(m.samples) - 1; i >= 0; i-- {
+		if m.samples[i].t <= cutoff {
+			firstKeep = i
+			break
+		}
+	}
+	m.samples = m.samples[firstKeep:]
+}
+
+func (m *RollbackMonitor) finish() {
+	m.finished = true
+	m.snapshot(true)
+	if m.ticker != nil {
+		m.clock.RemoveTicker(m.ticker)
+		m.ticker = nil
+	}
+}
+
+// Current returns an on-demand snapshot.
+func (m *RollbackMonitor) Current() RollbackSnapshot { return m.build() }
+
+func (m *RollbackMonitor) snapshot(final bool) {
+	s := m.build()
+	s.Finished = final
+	m.snapshots = append(m.snapshots, s)
+	for _, fn := range m.subscribers {
+		fn(s)
+	}
+}
+
+func (m *RollbackMonitor) build() RollbackSnapshot {
+	now := m.clock.Now()
+	s := RollbackSnapshot{
+		Time:   now,
+		Total:  m.total,
+		Undone: m.undone,
+	}
+	if m.total > 0 {
+		s.Percent = 100 * float64(m.undone) / float64(m.total)
+	}
+	s.SpeedRecPerSec = m.speed(now)
+	remaining := m.total - m.undone
+	switch {
+	case remaining <= 0:
+		s.RemainingSeconds = 0
+	case s.SpeedRecPerSec > 0:
+		s.RemainingSeconds = float64(remaining) / s.SpeedRecPerSec
+	default:
+		s.RemainingSeconds = math.Inf(1)
+	}
+	return s
+}
+
+func (m *RollbackMonitor) speed(now float64) float64 {
+	elapsed := now - m.startT
+	if elapsed <= 0 {
+		return 0
+	}
+	if len(m.samples) == 0 || elapsed < m.window {
+		return float64(m.undone) / elapsed
+	}
+	base := m.samples[0]
+	dt := now - base.t
+	if dt <= 0 {
+		return float64(m.undone) / elapsed
+	}
+	return float64(m.undone-base.cum) / dt
+}

@@ -1,0 +1,156 @@
+// Package txn adds a minimal update path — transactions with a
+// before-image undo log — so the engine can reproduce the rollback-
+// progress technique the paper's Section 2 cites ([15], Larry's
+// "Monitoring Rollback Progress") and says "can be integrated into the
+// progress indicators for RDBMSs".
+//
+// The method: a transaction's updates append undo records to a log;
+// rolling back walks the log backwards restoring before-images. The
+// monitor tracks how many update log records have not yet been rolled
+// back and the speed at which they are being rolled back, and estimates
+// the remaining rollback time — the same windowed-speed machinery the
+// query indicator uses.
+package txn
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"progressdb/internal/catalog"
+	"progressdb/internal/storage"
+	"progressdb/internal/vclock"
+)
+
+// undoRecord is one logged update: enough to restore the before-image.
+type undoRecord struct {
+	table  string
+	rid    storage.RID
+	before []byte
+}
+
+// Manager owns the undo log for one engine.
+type Manager struct {
+	cat   *catalog.Catalog
+	clock *vclock.Clock
+	log   *storage.HeapFile // persisted undo images (for I/O realism)
+	undo  []undoRecord
+	open  bool
+}
+
+// NewManager creates a transaction manager over the catalog.
+func NewManager(cat *catalog.Catalog, clock *vclock.Clock) *Manager {
+	return &Manager{
+		cat:   cat,
+		clock: clock,
+		log:   storage.CreateHeapFile(cat.Pool()),
+	}
+}
+
+// Tx is one open transaction. Only one may be open at a time (the engine
+// is single-threaded, like the paper's per-query execution).
+type Tx struct {
+	mgr   *Manager
+	start int
+	done  bool
+}
+
+// Begin opens a transaction.
+func (m *Manager) Begin() (*Tx, error) {
+	if m.open {
+		return nil, fmt.Errorf("txn: a transaction is already open")
+	}
+	m.open = true
+	return &Tx{mgr: m, start: len(m.undo)}, nil
+}
+
+// PendingUndo returns the number of update log records this transaction
+// has produced so far.
+func (tx *Tx) PendingUndo() int { return len(tx.mgr.undo) - tx.start }
+
+// Update overwrites the record at rid in table, logging its before-image.
+// The new record must have the old record's length.
+func (tx *Tx) Update(table string, rid storage.RID, newRec []byte) error {
+	if tx.done {
+		return fmt.Errorf("txn: transaction already finished")
+	}
+	t, err := tx.mgr.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	before, err := t.Heap.Fetch(rid)
+	if err != nil {
+		return err
+	}
+	// Persist the undo image (write I/O charged through the pool), keep
+	// the in-memory index for replay.
+	if _, err := tx.mgr.log.Append(encodeUndo(table, rid, before)); err != nil {
+		return err
+	}
+	tx.mgr.undo = append(tx.mgr.undo, undoRecord{table: table, rid: rid, before: before})
+	tx.mgr.clock.ChargeCPU(2)
+	return t.Heap.UpdateAt(rid, newRec)
+}
+
+// Commit finishes the transaction, keeping its updates.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return fmt.Errorf("txn: transaction already finished")
+	}
+	tx.done = true
+	tx.mgr.open = false
+	if err := tx.mgr.log.Sync(); err != nil {
+		return err
+	}
+	// Committed updates no longer need their undo records.
+	tx.mgr.undo = tx.mgr.undo[:tx.start]
+	return nil
+}
+
+// Rollback undoes the transaction's updates newest-first, reporting each
+// undone record to mon (which may be nil).
+func (tx *Tx) Rollback(mon *RollbackMonitor) error {
+	if tx.done {
+		return fmt.Errorf("txn: transaction already finished")
+	}
+	tx.done = true
+	tx.mgr.open = false
+	if err := tx.mgr.log.Sync(); err != nil {
+		return err
+	}
+	if mon != nil {
+		mon.begin(tx.PendingUndo())
+	}
+	for i := len(tx.mgr.undo) - 1; i >= tx.start; i-- {
+		u := tx.mgr.undo[i]
+		t, err := tx.mgr.cat.Table(u.table)
+		if err != nil {
+			return err
+		}
+		if err := t.Heap.UpdateAt(u.rid, u.before); err != nil {
+			return err
+		}
+		tx.mgr.clock.ChargeCPU(2)
+		// Re-reading the log record is part of a real rollback's cost.
+		tx.mgr.clock.ChargeRandIO(0) // page access already charged via pool
+		if mon != nil {
+			mon.recordUndone()
+		}
+	}
+	tx.mgr.undo = tx.mgr.undo[:tx.start]
+	if mon != nil {
+		mon.finish()
+	}
+	return nil
+}
+
+func encodeUndo(table string, rid storage.RID, before []byte) []byte {
+	buf := make([]byte, 0, 2+len(table)+10+len(before))
+	buf = append(buf, byte(len(table)))
+	buf = append(buf, table...)
+	var b [10]byte
+	binary.LittleEndian.PutUint32(b[0:], uint32(rid.Page.File))
+	binary.LittleEndian.PutUint32(b[4:], uint32(rid.Page.Num))
+	binary.LittleEndian.PutUint16(b[8:], rid.Slot)
+	buf = append(buf, b[:]...)
+	return append(buf, before...)
+}

@@ -1,0 +1,241 @@
+package txn
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"progressdb/internal/catalog"
+	"progressdb/internal/storage"
+	"progressdb/internal/tuple"
+	"progressdb/internal/vclock"
+)
+
+func setup(t *testing.T, rows int) (*catalog.Catalog, *vclock.Clock, []storage.RID) {
+	t.Helper()
+	clock := vclock.New(vclock.Costs{SeqPage: 0.01, RandPage: 0.08, CPUTuple: 1e-4}, nil)
+	cat := catalog.New(storage.NewBufferPool(storage.NewDisk(clock), 256))
+	tb, err := cat.CreateTable("accounts", tuple.NewSchema(
+		tuple.Column{Name: "id", Type: tuple.Int},
+		tuple.Column{Name: "balance", Type: tuple.Float},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rids := make([]storage.RID, 0, rows)
+	for i := 0; i < rows; i++ {
+		row := tuple.Tuple{tuple.NewInt(int64(i)), tuple.NewFloat(100)}
+		rid, err := tb.Heap.Append(row.Encode(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	if err := tb.Heap.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	return cat, clock, rids
+}
+
+func balance(t *testing.T, cat *catalog.Catalog, rid storage.RID) float64 {
+	t.Helper()
+	tb, _ := cat.Table("accounts")
+	rec, err := tb.Heap.Fetch(rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := tuple.Decode(rec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return row[1].F
+}
+
+func newBalanceRec(id int64, bal float64) []byte {
+	return tuple.Tuple{tuple.NewInt(id), tuple.NewFloat(bal)}.Encode(nil)
+}
+
+func TestCommitKeepsUpdates(t *testing.T) {
+	cat, clock, rids := setup(t, 100)
+	m := NewManager(cat, clock)
+	tx, err := m.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rid := range rids {
+		if err := tx.Update("accounts", rid, newBalanceRec(int64(i), 42)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tx.PendingUndo() != 100 {
+		t.Fatalf("pending = %d", tx.PendingUndo())
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := balance(t, cat, rids[7]); got != 42 {
+		t.Fatalf("committed balance = %g", got)
+	}
+	if err := tx.Commit(); err == nil {
+		t.Fatal("double commit must fail")
+	}
+}
+
+func TestRollbackRestoresBeforeImages(t *testing.T) {
+	cat, clock, rids := setup(t, 500)
+	m := NewManager(cat, clock)
+	tx, _ := m.Begin()
+	for i, rid := range rids {
+		if err := tx.Update("accounts", rid, newBalanceRec(int64(i), float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := balance(t, cat, rids[9]); got != 9 {
+		t.Fatalf("pre-rollback balance = %g", got)
+	}
+	if err := tx.Rollback(nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, rid := range []storage.RID{rids[0], rids[9], rids[499]} {
+		if got := balance(t, cat, rid); got != 100 {
+			t.Fatalf("rolled-back balance = %g, want 100", got)
+		}
+	}
+	if err := tx.Rollback(nil); err == nil {
+		t.Fatal("double rollback must fail")
+	}
+}
+
+func TestSequentialTransactions(t *testing.T) {
+	cat, clock, rids := setup(t, 10)
+	m := NewManager(cat, clock)
+	tx1, _ := m.Begin()
+	if _, err := m.Begin(); err == nil {
+		t.Fatal("two open transactions must fail")
+	}
+	tx1.Update("accounts", rids[0], newBalanceRec(0, 1))
+	tx1.Commit()
+	tx2, err := m.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx2.Update("accounts", rids[0], newBalanceRec(0, 2))
+	if err := tx2.Rollback(nil); err != nil {
+		t.Fatal(err)
+	}
+	// tx1's commit survives; tx2's update is undone back to tx1's value.
+	if got := balance(t, cat, rids[0]); got != 1 {
+		t.Fatalf("balance = %g, want 1", got)
+	}
+}
+
+func TestUpdateErrors(t *testing.T) {
+	cat, clock, rids := setup(t, 5)
+	m := NewManager(cat, clock)
+	tx, _ := m.Begin()
+	if err := tx.Update("missing", rids[0], newBalanceRec(0, 1)); err == nil {
+		t.Fatal("unknown table must fail")
+	}
+	// Wrong length (string value changes encoding size).
+	bad := tuple.Tuple{tuple.NewInt(0), tuple.NewFloat(1), tuple.NewString("extra")}.Encode(nil)
+	if err := tx.Update("accounts", rids[0], bad); err == nil {
+		t.Fatal("length-changing update must fail")
+	}
+	tx.Commit()
+	if err := tx.Update("accounts", rids[0], newBalanceRec(0, 1)); err == nil {
+		t.Fatal("update after commit must fail")
+	}
+}
+
+// The [15] method: the monitor's remaining-time estimate converges to
+// the actual remaining rollback time.
+func TestRollbackMonitorProgress(t *testing.T) {
+	cat, clock, rids := setup(t, 4000)
+	m := NewManager(cat, clock)
+	tx, _ := m.Begin()
+	for i, rid := range rids {
+		if err := tx.Update("accounts", rid, newBalanceRec(int64(i), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mon := NewRollbackMonitor(clock, 0.1, 0.5)
+	start := clock.Now()
+	if err := tx.Rollback(mon); err != nil {
+		t.Fatal(err)
+	}
+	actual := clock.Now() - start
+	snaps := mon.Snapshots()
+	if len(snaps) < 4 {
+		t.Fatalf("only %d rollback snapshots over %.2fs", len(snaps), actual)
+	}
+	final := snaps[len(snaps)-1]
+	if !final.Finished || final.Undone != 4000 || final.Percent != 100 || final.RemainingSeconds != 0 {
+		t.Fatalf("final snapshot: %+v", final)
+	}
+	// Mid-rollback estimates track the truth.
+	for _, s := range snaps {
+		if s.Finished || s.Time-start < actual*0.2 {
+			continue
+		}
+		actualRemaining := actual - (s.Time - start)
+		if actualRemaining < 0.05 {
+			continue
+		}
+		if math.Abs(s.RemainingSeconds-actualRemaining)/actualRemaining > 0.35 {
+			t.Fatalf("estimate %.3fs vs actual %.3fs at t=%.2f",
+				s.RemainingSeconds, actualRemaining, s.Time-start)
+		}
+		// Percent is monotone in undone count.
+		if s.Percent < 0 || s.Percent > 100 {
+			t.Fatalf("percent out of range: %+v", s)
+		}
+	}
+}
+
+// Interference slows the rollback and the monitor notices: remaining
+// estimates rise after the slowdown begins.
+func TestRollbackMonitorUnderLoad(t *testing.T) {
+	cat, clock, rids := setup(t, 4000)
+	m := NewManager(cat, clock)
+	tx, _ := m.Begin()
+	for i, rid := range rids {
+		tx.Update("accounts", rid, newBalanceRec(int64(i), 0))
+	}
+	// The pool holds the whole table, so this rollback is CPU-bound;
+	// a CPU hog slows it 6x shortly after it begins.
+	at := clock.Now()
+	clock.SetProfile(vclock.MustLoadProfile(vclock.Interval{Start: at + 0.2, End: at + 1e6, CPUFactor: 6}))
+	mon := NewRollbackMonitor(clock, 0.1, 0.3)
+	if err := tx.Rollback(mon); err != nil {
+		t.Fatal(err)
+	}
+	snaps := mon.Snapshots()
+	var before, after float64
+	for _, s := range snaps {
+		if s.Finished {
+			continue
+		}
+		if s.Time < at+0.2 && s.SpeedRecPerSec > 0 {
+			before = s.SpeedRecPerSec
+		}
+		if s.Time > at+0.7 && after == 0 && s.SpeedRecPerSec > 0 {
+			after = s.SpeedRecPerSec
+		}
+	}
+	if before == 0 || after == 0 {
+		t.Skipf("not enough samples around the slowdown (%d snaps)", len(snaps))
+	}
+	if after > before*0.6 {
+		t.Fatalf("monitor should observe the slowdown: before %.0f rec/s, after %.0f rec/s", before, after)
+	}
+}
+
+func TestMonitorCurrentBeforeStart(t *testing.T) {
+	clock := vclock.New(vclock.DefaultCosts(), nil)
+	mon := NewRollbackMonitor(clock, 0, 0)
+	s := mon.Current()
+	if s.Total != 0 || s.Percent != 0 {
+		t.Fatalf("pre-start snapshot: %+v", s)
+	}
+	_ = fmt.Sprintf
+}

@@ -1,0 +1,453 @@
+// Package progressdb is a small single-node SQL engine with a
+// continuously refined query progress indicator, reproducing "Toward a
+// Progress Indicator for Database Queries" (Luo, Naughton, Ellmann,
+// Watzke — SIGMOD 2004).
+//
+// The engine executes select-project-join SQL over simulated storage with
+// a deterministic virtual clock. While a query runs, a progress indicator
+// divides its plan into pipelined segments, measures work in U (pages of
+// bytes processed at segment boundaries), refines the cost estimate from
+// observed cardinalities, monitors execution speed over a trailing
+// window, and reports percent done and estimated remaining time — the
+// paper's techniques, end to end.
+//
+// Quick start:
+//
+//	db := progressdb.Open(progressdb.Config{})
+//	db.MustCreateTable("t", progressdb.Col("k", progressdb.Int), progressdb.Col("v", progressdb.Text))
+//	db.MustInsert("t", int64(1), "hello")
+//	db.Analyze()
+//	res, _ := db.Exec("select * from t", func(p progressdb.Report) {
+//		fmt.Printf("%.0f%% done, %.0fs left\n", p.Percent, p.RemainingSeconds)
+//	})
+package progressdb
+
+import (
+	"fmt"
+
+	"progressdb/internal/catalog"
+	"progressdb/internal/core"
+	"progressdb/internal/exec"
+	"progressdb/internal/optimizer"
+	"progressdb/internal/plan"
+	"progressdb/internal/segment"
+	"progressdb/internal/sqlparser"
+	"progressdb/internal/storage"
+	"progressdb/internal/tuple"
+	"progressdb/internal/vclock"
+	"progressdb/internal/workload"
+)
+
+// ColumnType is a column's data type.
+type ColumnType int
+
+// Column types.
+const (
+	Int ColumnType = iota
+	Float
+	Text
+)
+
+// Column defines one table column.
+type Column struct {
+	Name string
+	Type ColumnType
+}
+
+// Col is shorthand for Column{name, typ}.
+func Col(name string, typ ColumnType) Column { return Column{Name: name, Type: typ} }
+
+// Config configures an engine instance.
+type Config struct {
+	// BufferPoolPages sizes the page cache (default 2048 = 16 MiB).
+	BufferPoolPages int
+	// WorkMemPages is the per-operator memory budget (default 2048).
+	// Small values force Grace hash joins and external sorts.
+	WorkMemPages int
+	// SeqPageCost, RandPageCost, CPUTupleCost override the virtual
+	// clock's base costs in seconds per unit (defaults are calibrated to
+	// a 2004-era disk; see internal/vclock).
+	SeqPageCost, RandPageCost, CPUTupleCost float64
+	// ProgressUpdateSeconds is the indicator refresh period in virtual
+	// seconds (default 10, the paper's rate).
+	ProgressUpdateSeconds float64
+	// SpeedWindowSeconds is the speed-monitoring window T (default 10).
+	SpeedWindowSeconds float64
+	// SpeedDecayAlpha, if in (0,1], enables the decaying-average speed
+	// smoother (the paper's Section 4.6 suggested extension).
+	SpeedDecayAlpha float64
+	// PerSegmentSpeed enables the paper's other Section 4.6 suggestion:
+	// convert remaining U to time with per-segment predicted rates (from
+	// each segment's disk-vs-memory byte mix) scaled by the observed
+	// load, instead of one global speed.
+	PerSegmentSpeed bool
+}
+
+// DB is one engine instance: simulated storage, a catalog, and a virtual
+// clock. It is not safe for concurrent use.
+type DB struct {
+	cfg   Config
+	clock *vclock.Clock
+	cat   *catalog.Catalog
+}
+
+// Open creates an engine.
+func Open(cfg Config) *DB {
+	if cfg.BufferPoolPages <= 0 {
+		cfg.BufferPoolPages = 2048
+	}
+	if cfg.WorkMemPages <= 0 {
+		cfg.WorkMemPages = 2048
+	}
+	if cfg.ProgressUpdateSeconds <= 0 {
+		cfg.ProgressUpdateSeconds = 10
+	}
+	costs := vclock.DefaultCosts()
+	if cfg.SeqPageCost > 0 {
+		costs.SeqPage = cfg.SeqPageCost
+	}
+	if cfg.RandPageCost > 0 {
+		costs.RandPage = cfg.RandPageCost
+	}
+	if cfg.CPUTupleCost > 0 {
+		costs.CPUTuple = cfg.CPUTupleCost
+	}
+	clock := vclock.New(costs, nil)
+	pool := storage.NewBufferPool(storage.NewDisk(clock), cfg.BufferPoolPages)
+	return &DB{cfg: cfg, clock: clock, cat: catalog.New(pool)}
+}
+
+// Now returns the current virtual time in seconds.
+func (db *DB) Now() float64 { return db.clock.Now() }
+
+// SetInterference installs load intervals on the virtual clock: between
+// start and end (virtual seconds), I/O or CPU work is slowed by factor.
+// kind is "io" or "cpu". It models the paper's concurrent file copy and
+// CPU-intensive program.
+func (db *DB) SetInterference(kind string, start, end, factor float64) error {
+	iv := vclock.Interval{Start: start, End: end}
+	switch kind {
+	case "io":
+		iv.IOFactor = factor
+	case "cpu":
+		iv.CPUFactor = factor
+	default:
+		return fmt.Errorf("progressdb: interference kind must be \"io\" or \"cpu\", got %q", kind)
+	}
+	p, err := vclock.NewLoadProfile(iv)
+	if err != nil {
+		return err
+	}
+	db.clock.SetProfile(p)
+	return nil
+}
+
+// ClearInterference removes any load profile.
+func (db *DB) ClearInterference() { db.clock.SetProfile(nil) }
+
+// CreateTable creates an empty table.
+func (db *DB) CreateTable(name string, cols ...Column) error {
+	if len(cols) == 0 {
+		return fmt.Errorf("progressdb: table %q needs at least one column", name)
+	}
+	sch := &tuple.Schema{}
+	for _, c := range cols {
+		var t tuple.Type
+		switch c.Type {
+		case Int:
+			t = tuple.Int
+		case Float:
+			t = tuple.Float
+		case Text:
+			t = tuple.String
+		default:
+			return fmt.Errorf("progressdb: unknown column type %d", c.Type)
+		}
+		sch.Cols = append(sch.Cols, tuple.Column{Name: c.Name, Type: t})
+	}
+	_, err := db.cat.CreateTable(name, sch)
+	return err
+}
+
+// MustCreateTable is CreateTable that panics on error.
+func (db *DB) MustCreateTable(name string, cols ...Column) {
+	if err := db.CreateTable(name, cols...); err != nil {
+		panic(err)
+	}
+}
+
+// Insert appends one row. Values must be int64, float64, or string,
+// matching the schema.
+func (db *DB) Insert(table string, values ...interface{}) error {
+	t, err := db.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	row := make(tuple.Tuple, 0, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case int64:
+			row = append(row, tuple.NewInt(x))
+		case int:
+			row = append(row, tuple.NewInt(int64(x)))
+		case float64:
+			row = append(row, tuple.NewFloat(x))
+		case string:
+			row = append(row, tuple.NewString(x))
+		default:
+			return fmt.Errorf("progressdb: value %d has unsupported type %T", i, v)
+		}
+	}
+	return db.cat.Insert(t, row)
+}
+
+// MustInsert is Insert that panics on error.
+func (db *DB) MustInsert(table string, values ...interface{}) {
+	if err := db.Insert(table, values...); err != nil {
+		panic(err)
+	}
+}
+
+// FlushTable makes all inserted rows of a table readable. Called
+// automatically by Analyze.
+func (db *DB) FlushTable(table string) error {
+	t, err := db.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	return t.Heap.Sync()
+}
+
+// CreateIndex builds a B+-tree index over an Int column.
+func (db *DB) CreateIndex(table, column string) error {
+	t, err := db.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	if err := t.Heap.Sync(); err != nil {
+		return err
+	}
+	_, err = db.cat.CreateIndex(t, column)
+	return err
+}
+
+// Analyze flushes all tables and collects optimizer statistics — the
+// paper runs the statistics collector before its experiments.
+func (db *DB) Analyze() error {
+	for _, t := range db.cat.Tables() {
+		if err := t.Heap.Sync(); err != nil {
+			return err
+		}
+	}
+	return db.cat.AnalyzeAll()
+}
+
+// ColdRestart empties the buffer pool (the paper restarts the machine
+// before each test for a cold cache).
+func (db *DB) ColdRestart() error {
+	if err := db.cat.Pool().Flush(); err != nil {
+		return err
+	}
+	db.cat.Pool().Clear()
+	return nil
+}
+
+// LoadPaperWorkload generates the paper's Table 1 data set (customer,
+// orders, lineitem, customer_subset1/2) at the given scale (1.0 = the
+// paper's sizes; 0.05 is a laptop-friendly default when scale <= 0) and
+// analyzes it. Set correlated for the Q3 experiment's orders variant.
+func (db *DB) LoadPaperWorkload(scale float64, correlated bool) error {
+	_, err := workload.Load(db.cat, workload.Config{Scale: scale, CorrelatedOrders: correlated})
+	return err
+}
+
+// PaperQuery returns the paper's query Q1–Q5, verbatim.
+func PaperQuery(n int) (string, error) { return workload.QuerySQL(n) }
+
+// Explain compiles sql and returns the physical plan and its segment
+// decomposition (segments, inputs, dominant inputs, initial costs).
+func (db *DB) Explain(sql string) (string, error) {
+	p, err := db.plan(sql)
+	if err != nil {
+		return "", err
+	}
+	d := segment.Decompose(p, db.cfg.WorkMemPages)
+	return plan.Format(p) + "\n" + d.String(), nil
+}
+
+func (db *DB) plan(sql string) (plan.Node, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return optimizer.Plan(db.cat, stmt, optimizer.Options{WorkMemPages: db.cfg.WorkMemPages})
+}
+
+// Report is one progress-indicator refresh, the paper's Figure 2 display.
+type Report struct {
+	// ElapsedSeconds since the query started (virtual time).
+	ElapsedSeconds float64
+	// EstimatedCostU is the refined total query cost in U (pages).
+	EstimatedCostU float64
+	// DoneU is work completed in U.
+	DoneU float64
+	// Percent completed, 0–100.
+	Percent float64
+	// SpeedU is the monitored execution speed in U/second.
+	SpeedU float64
+	// RemainingSeconds is the estimated remaining execution time.
+	RemainingSeconds float64
+	// CurrentSegment is the executing segment's index (-1 when done).
+	CurrentSegment int
+	// Finished marks the final report.
+	Finished bool
+}
+
+func toReport(s core.Snapshot) Report {
+	return Report{
+		ElapsedSeconds:   s.Elapsed,
+		EstimatedCostU:   s.EstTotalU,
+		DoneU:            s.DoneU,
+		Percent:          s.Percent,
+		SpeedU:           s.SpeedU,
+		RemainingSeconds: s.RemainingSeconds,
+		CurrentSegment:   s.CurrentSegment,
+		Finished:         s.Finished,
+	}
+}
+
+// Result is a completed query.
+type Result struct {
+	// Columns are the output column names.
+	Columns []string
+	// Rows holds the result values (int64, float64, or string).
+	Rows [][]interface{}
+	// VirtualSeconds is the query's execution time on the virtual clock.
+	VirtualSeconds float64
+	// History is every progress report taken during execution.
+	History []Report
+}
+
+// RowCount returns the number of result rows.
+func (r *Result) RowCount() int { return len(r.Rows) }
+
+// Exec runs a query, invoking onProgress (if non-nil) at every indicator
+// refresh, and returns the full result.
+func (db *DB) Exec(sql string, onProgress func(Report)) (*Result, error) {
+	return db.exec(sql, onProgress, true)
+}
+
+// ExecDiscard runs a query without materializing result rows (useful for
+// large results and benchmarks); Result.Rows is nil but RowsDiscarded is
+// reported via VirtualSeconds/History as usual.
+func (db *DB) ExecDiscard(sql string, onProgress func(Report)) (*Result, error) {
+	return db.exec(sql, onProgress, false)
+}
+
+func (db *DB) exec(sql string, onProgress func(Report), keepRows bool) (*Result, error) {
+	p, err := db.plan(sql)
+	if err != nil {
+		return nil, err
+	}
+	d := segment.Decompose(p, db.cfg.WorkMemPages)
+	ind := core.New(db.clock, d, core.Options{
+		UpdatePeriod:    db.cfg.ProgressUpdateSeconds,
+		SpeedWindow:     db.cfg.SpeedWindowSeconds,
+		DecayAlpha:      db.cfg.SpeedDecayAlpha,
+		PerSegmentSpeed: db.cfg.PerSegmentSpeed,
+	})
+	if onProgress != nil {
+		ind.Subscribe(func(s core.Snapshot) { onProgress(toReport(s)) })
+	}
+	ind.Start()
+	defer ind.Stop()
+
+	res := &Result{}
+	for _, c := range p.Schema().Cols {
+		res.Columns = append(res.Columns, c.Name)
+	}
+	env := &exec.Env{
+		Pool:         db.cat.Pool(),
+		Clock:        db.clock,
+		WorkMemPages: db.cfg.WorkMemPages,
+		Reporter:     ind,
+		Decomp:       d,
+	}
+	start := db.clock.Now()
+	var sink func(tuple.Tuple) error
+	if keepRows {
+		sink = func(t tuple.Tuple) error {
+			row := make([]interface{}, len(t))
+			for i, v := range t {
+				switch v.Kind {
+				case tuple.Int:
+					row[i] = v.I
+				case tuple.Float:
+					row[i] = v.F
+				default:
+					row[i] = v.S
+				}
+			}
+			res.Rows = append(res.Rows, row)
+			return nil
+		}
+	}
+	if _, err := exec.Run(env, p, sink); err != nil {
+		return nil, err
+	}
+	res.VirtualSeconds = db.clock.Now() - start
+	for _, s := range ind.Snapshots() {
+		res.History = append(res.History, toReport(s))
+	}
+	return res, nil
+}
+
+// ExecAnalyze runs a query and returns, alongside the result, an
+// EXPLAIN ANALYZE-style per-segment table comparing the optimizer's
+// initial estimates with what actually happened and where the (virtual)
+// time went — the paper's Section 6 "performance tuning" use of the
+// progress indicator's history.
+func (db *DB) ExecAnalyze(sql string) (*Result, string, error) {
+	p, err := db.plan(sql)
+	if err != nil {
+		return nil, "", err
+	}
+	d := segment.Decompose(p, db.cfg.WorkMemPages)
+	ind := core.New(db.clock, d, core.Options{
+		UpdatePeriod: db.cfg.ProgressUpdateSeconds,
+		SpeedWindow:  db.cfg.SpeedWindowSeconds,
+	})
+	ind.Start()
+	defer ind.Stop()
+	env := &exec.Env{
+		Pool:         db.cat.Pool(),
+		Clock:        db.clock,
+		WorkMemPages: db.cfg.WorkMemPages,
+		Reporter:     ind,
+		Decomp:       d,
+	}
+	res := &Result{}
+	for _, c := range p.Schema().Cols {
+		res.Columns = append(res.Columns, c.Name)
+	}
+	start := db.clock.Now()
+	if _, err := exec.Run(env, p, nil); err != nil {
+		return nil, "", err
+	}
+	res.VirtualSeconds = db.clock.Now() - start
+	for _, s := range ind.Snapshots() {
+		res.History = append(res.History, toReport(s))
+	}
+	return res, core.FormatSegmentReports(ind.SegmentReports()), nil
+}
+
+// FormatReport renders a report as the paper's Figure 2 progress box.
+func FormatReport(name string, r Report) string {
+	return core.Format(name, core.Snapshot{
+		Elapsed:          r.ElapsedSeconds,
+		EstTotalU:        r.EstimatedCostU,
+		Percent:          r.Percent,
+		SpeedU:           r.SpeedU,
+		RemainingSeconds: r.RemainingSeconds,
+	})
+}
