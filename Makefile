@@ -1,0 +1,23 @@
+# Developer entry points; `make check` is what CI runs.
+
+.PHONY: check test build vet fmt bench-obs
+
+check:
+	./ci.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+vet:
+	go vet ./...
+
+fmt:
+	gofmt -w .
+
+# Compare the observability-disabled and -enabled hot paths (the paper's
+# "< 1% penalty" budget).
+bench-obs:
+	go test . -run XXX -bench 'BenchmarkObs(Disabled|Enabled)' -benchtime 50x

@@ -247,3 +247,29 @@ func BenchmarkExtraConcurrentContention(b *testing.B) {
 	}
 	b.ReportMetric(stretch, "stretch_x")
 }
+
+// BenchmarkObsDisabled/Enabled compare the engine-wide observability
+// layer off (the default: nil instruments, bare nil checks on the hot
+// path) and on (Config.Metrics wires the registry into every layer).
+// The comparison backs the paper's "< 1% penalty" budget for statistics
+// collection applied to the metrics/tracing subsystem.
+func BenchmarkObsDisabled(b *testing.B) {
+	benchObsQuery(b, Config{WorkMemPages: 16})
+}
+
+func BenchmarkObsEnabled(b *testing.B) {
+	benchObsQuery(b, Config{WorkMemPages: 16, Metrics: true})
+}
+
+func benchObsQuery(b *testing.B, cfg Config) {
+	db := loadObsWorkload(b, cfg)
+	if _, err := db.ExecDiscard(twoJoinSQL, nil); err != nil { // warm
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.ExecDiscard(twoJoinSQL, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,26 @@
+#!/bin/sh
+# ci.sh — the repo's check suite: formatting, vet, build, race tests.
+# Run directly or via `make check`.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== gofmt =="
+unformatted=$(gofmt -l . 2>&1)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: these files need formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+echo "ok"
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "All checks passed."

@@ -6,8 +6,10 @@
 //	pgsh> \explain select * from lineitem
 //	pgsh> select c.custkey, o.orderkey from customer c, orders o where c.custkey = o.custkey
 //
-// Commands: \tables, \explain <sql>, \cold (empty the buffer pool),
-// \io <start> <end> <factor> / \cpu ... (interference), \help, \q.
+// Commands: \tables, \explain <sql>, \metrics (engine metrics snapshot),
+// \cold (empty the buffer pool), \io <start> <end> <factor> / \cpu ...
+// (interference), \help, \q. SQL statements may be prefixed with EXPLAIN
+// or EXPLAIN ANALYZE.
 package main
 
 import (
@@ -33,6 +35,7 @@ func main() {
 		ProgressUpdateSeconds: *update,
 		SeqPageCost:           0.8e-3 / maxf(*scale, 0.01),
 		RandPageCost:          6.4e-3 / maxf(*scale, 0.01),
+		Metrics:               true,
 	})
 	if *scale > 0 {
 		fmt.Printf("loading paper workload at scale %g ...\n", *scale)
@@ -62,11 +65,13 @@ func main() {
 			fmt.Println(`\tables            list tables
 \explain <sql>     show plan and segments
 \analyze <sql>     run and show per-segment estimated vs actual
+\metrics           engine metrics snapshot (Prometheus text format)
 \cold              empty the buffer pool
 \io <s> <e> <f>    4-arg: I/O interference from s to e (virtual sec), factor f
 \cpu <s> <e> <f>   CPU interference
 \clear             remove interference
 \q                 quit
+explain [analyze] <sql>   plan only, or run + annotated plan with actuals
 anything else      run as SQL with a live progress indicator`)
 		case line == `\tables`:
 			for _, q := range []string{"customer", "orders", "lineitem", "customer_subset1", "customer_subset2"} {
@@ -74,6 +79,8 @@ anything else      run as SQL with a live progress indicator`)
 					fmt.Println(" ", q)
 				}
 			}
+		case line == `\metrics`:
+			fmt.Print(db.MetricsText())
 		case line == `\cold`:
 			if err := db.ColdRestart(); err != nil {
 				fmt.Println("error:", err)
@@ -124,6 +131,21 @@ anything else      run as SQL with a live progress indicator`)
 			fmt.Printf("(%.1f virtual seconds)\n", res.VirtualSeconds)
 		case strings.HasPrefix(line, `\`):
 			fmt.Println("unknown command; try \\help")
+		case hasKeywordPrefix(line, "explain", "analyze"):
+			res, tree, err := db.ExplainAnalyze(line)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Print(tree)
+			fmt.Printf("(%.1f virtual seconds)\n", res.VirtualSeconds)
+		case hasKeywordPrefix(line, "explain"):
+			out, err := db.Explain(stripKeywords(line, "explain"))
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Print(out)
 		default:
 			runSQL(db, line, *maxRows)
 		}
@@ -152,6 +174,34 @@ func runSQL(db *progressdb.DB, sql string, maxRows int) {
 		fmt.Println(strings.Join(parts, " | "))
 	}
 	fmt.Printf("%d rows in %.1f virtual seconds\n", res.RowCount(), res.VirtualSeconds)
+}
+
+// hasKeywordPrefix reports whether line starts with the given keywords,
+// case-insensitively and whitespace-separated.
+func hasKeywordPrefix(line string, kws ...string) bool {
+	fields := strings.Fields(line)
+	if len(fields) <= len(kws) {
+		return false
+	}
+	for i, kw := range kws {
+		if !strings.EqualFold(fields[i], kw) {
+			return false
+		}
+	}
+	return true
+}
+
+// stripKeywords removes the leading keywords from line, returning the rest.
+func stripKeywords(line string, kws ...string) string {
+	rest := strings.TrimSpace(line)
+	for range kws {
+		fields := strings.SplitN(rest, " ", 2)
+		if len(fields) < 2 {
+			return ""
+		}
+		rest = strings.TrimSpace(fields[1])
+	}
+	return rest
 }
 
 func short(sec float64) string {

@@ -28,6 +28,7 @@ func main() {
 	cpuAt := flag.Float64("cpu-at", -1, "start 4x CPU interference at this virtual second")
 	cpuFor := flag.Float64("cpu-for", 600, "CPU interference duration")
 	update := flag.Float64("update", 10, "progress refresh period in virtual seconds")
+	metrics := flag.Bool("metrics", false, "print the engine metrics snapshot after the run")
 	flag.Parse()
 
 	die := func(err error) {
@@ -41,6 +42,7 @@ func main() {
 		// Calibrate virtual time to full-scale durations (see DESIGN.md).
 		SeqPageCost:  0.8e-3 / *scale,
 		RandPageCost: 6.4e-3 / *scale,
+		Metrics:      *metrics,
 	})
 	sql := *sqlFlag
 	if sql == "" {
@@ -92,4 +94,8 @@ func main() {
 	fmt.Println("========================================")
 	fmt.Printf("done: %d progress refreshes over %.1f virtual seconds\n",
 		len(res.History), res.VirtualSeconds)
+	if *metrics {
+		fmt.Println()
+		fmt.Print(db.MetricsText())
+	}
 }

@@ -1,0 +1,59 @@
+// Observability: run the paper's Q3 (a TPC-R-style two-join query) with
+// the metrics registry and tracer on, then print the EXPLAIN ANALYZE
+// plan tree annotated with actuals next to the engine-wide metrics
+// snapshot — the Section 6 "performance tuning" use of the indicator's
+// bookkeeping.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"progressdb"
+)
+
+func main() {
+	var events bytes.Buffer
+	db := progressdb.Open(progressdb.Config{
+		WorkMemPages:          16,
+		ProgressUpdateSeconds: 30,
+		Metrics:               true,    // engine-wide instrument registry
+		TraceSink:             &events, // JSONL progress/segment event log
+	})
+
+	fmt.Println("loading the paper's Table 1 workload (scale 0.005) ...")
+	if err := db.LoadPaperWorkload(0.005, false); err != nil {
+		panic(err)
+	}
+	if err := db.ColdRestart(); err != nil {
+		panic(err)
+	}
+
+	sql, err := progressdb.PaperQuery(3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nEXPLAIN ANALYZE %s\n\n", strings.Join(strings.Fields(sql), " "))
+
+	res, tree, err := db.ExplainAnalyze(sql)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(tree)
+	fmt.Printf("%d rows in %.1f virtual seconds; trace has %d spans\n",
+		res.RowCount(), res.VirtualSeconds, res.Trace.SpanCount())
+
+	fmt.Println("\n--- metrics snapshot (Prometheus text format) ---")
+	fmt.Print(db.MetricsText())
+
+	fmt.Println("\n--- first progress events (JSONL) ---")
+	lines := strings.Split(strings.TrimSpace(events.String()), "\n")
+	for i, line := range lines {
+		if i >= 3 {
+			fmt.Printf("... (%d more events)\n", len(lines)-3)
+			break
+		}
+		fmt.Println(line)
+	}
+}

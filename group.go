@@ -158,6 +158,7 @@ func (db *DB) execOne(q GroupQuery, yield func()) (*Result, error) {
 		SpeedWindow:     db.cfg.SpeedWindowSeconds,
 		DecayAlpha:      db.cfg.SpeedDecayAlpha,
 		PerSegmentSpeed: db.cfg.PerSegmentSpeed,
+		Refine:          db.refine,
 	})
 	if q.OnProgress != nil {
 		ind.Subscribe(func(s core.Snapshot) { q.OnProgress(toReport(s)) })
@@ -175,30 +176,21 @@ func (db *DB) execOne(q GroupQuery, yield func()) (*Result, error) {
 		WorkMemPages: db.cfg.WorkMemPages,
 		Reporter:     ind,
 		Decomp:       d,
+		Met:          db.execMet,
 		Yield:        yield,
 	}
 	start := db.clock.Now()
 	var sink func(tuple.Tuple) error
 	if q.KeepRows {
 		sink = func(t tuple.Tuple) error {
-			row := make([]interface{}, len(t))
-			for i, v := range t {
-				switch v.Kind {
-				case tuple.Int:
-					row[i] = v.I
-				case tuple.Float:
-					row[i] = v.F
-				default:
-					row[i] = v.S
-				}
-			}
-			res.Rows = append(res.Rows, row)
+			res.Rows = append(res.Rows, tupleToRow(t))
 			return nil
 		}
 	}
 	if _, err := exec.Run(env, p, sink); err != nil {
 		return nil, err
 	}
+	db.queries.Inc()
 	res.VirtualSeconds = db.clock.Now() - start
 	for _, s := range ind.Snapshots() {
 		res.History = append(res.History, toReport(s))

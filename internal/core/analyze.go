@@ -26,6 +26,10 @@ type SegmentReport struct {
 	EstOutRows, ActualOutRows float64
 	// Seconds is the segment's active time on the virtual clock.
 	Seconds float64
+	// StartT and EndT bound the segment's active period in virtual time
+	// (both zero if the segment never started; EndT is the current time
+	// for a segment still running).
+	StartT, EndT float64
 	// Done reports whether the segment completed (false only if the
 	// query failed or was cut short).
 	Done bool
@@ -47,9 +51,11 @@ func (ind *Indicator) SegmentReports() []SegmentReport {
 		if ss.done {
 			r.ActualOutRows = float64(ss.outTuples)
 			r.Seconds = ss.endT - ss.startT
+			r.StartT, r.EndT = ss.startT, ss.endT
 		} else if ss.started {
 			r.ActualOutRows = float64(ss.outTuples)
 			r.Seconds = ind.clock.Now() - ss.startT
+			r.StartT, r.EndT = ss.startT, ss.startT+r.Seconds
 		}
 		if ss.seg.Final {
 			// The final segment's output is the result set: not counted

@@ -2,20 +2,22 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
 
 // FormatDuration renders seconds as "5 hour 3 min 7 sec", the style of
-// the paper's Figure 2.
+// the paper's Figure 2. The value is rounded to the nearest whole second
+// BEFORE being split into fields, so a round-up carries through the
+// units: 59.7 renders as "1 min 0 sec" (not "60 sec"), and
+// 3599.6 as "1 hour 0 min 0 sec". NaN, negative, infinite, or absurdly
+// large estimates render as "unknown".
 func FormatDuration(seconds float64) string {
-	if seconds < 0 || seconds != seconds { // negative or NaN
+	if math.IsNaN(seconds) || math.IsInf(seconds, 0) || seconds < 0 || seconds > 1e9 {
 		return "unknown"
 	}
-	if seconds > 1e9 {
-		return "unknown"
-	}
-	s := int64(seconds + 0.5)
+	s := int64(math.Round(seconds))
 	h := s / 3600
 	m := (s % 3600) / 60
 	sec := s % 60
@@ -47,15 +49,29 @@ func Format(name string, s Snapshot) string {
 // given the latest snapshot of each running query, return the query names
 // ordered by estimated remaining execution time, longest first — the
 // candidates a DBA would block to relieve the system.
+//
+// An unknown estimate (NaN) sorts as +Inf — a query whose remaining time
+// cannot be bounded is the first candidate to block. Ties (including
+// multiple NaNs) break deterministically by name. The NaN normalization
+// matters for correctness, not just presentation: NaN compares unequal
+// to everything, so using it raw in the comparator breaks sort's strict
+// weak ordering and yields map-iteration-order-dependent output.
 func RankByRemaining(latest map[string]Snapshot) []string {
 	names := make([]string, 0, len(latest))
 	for n := range latest {
 		names = append(names, n)
 	}
+	key := func(name string) float64 {
+		r := latest[name].RemainingSeconds
+		if math.IsNaN(r) {
+			return math.Inf(1)
+		}
+		return r
+	}
 	sort.Slice(names, func(i, j int) bool {
-		a, b := latest[names[i]], latest[names[j]]
-		if a.RemainingSeconds != b.RemainingSeconds {
-			return a.RemainingSeconds > b.RemainingSeconds
+		a, b := key(names[i]), key(names[j])
+		if a != b {
+			return a > b
 		}
 		return names[i] < names[j]
 	})

@@ -26,6 +26,7 @@ package core
 import (
 	"math"
 
+	"progressdb/internal/obs"
 	"progressdb/internal/segment"
 	"progressdb/internal/storage"
 	"progressdb/internal/vclock"
@@ -66,6 +67,12 @@ type Options struct {
 	// default is the paper's blend. The alternatives exist for ablation
 	// (see bench_test.go).
 	Estimator EstimatorMode
+	// Refine holds the engine-wide refinement instruments; the zero value
+	// is disabled (every update is a nil-safe no-op).
+	Refine RefinementMetrics
+	// Events, when non-nil, receives a structured JSONL event for every
+	// progress refresh and segment completion.
+	Events *obs.EventWriter
 }
 
 // EstimatorMode is an ablation knob for the Section 4.5 refinement
@@ -140,6 +147,10 @@ type Snapshot struct {
 	// the initial cost estimate divided by an assumed unloaded speed,
 	// minus elapsed time (floored at zero).
 	OptimizerRemainingSeconds float64
+	// CurrentP is the current segment's dominant-input fraction p, and
+	// CurrentE1/CurrentE the blend's inputs E1 and output E (rows); all
+	// zero when no segment is mid-execution.
+	CurrentP, CurrentE1, CurrentE float64
 	// Finished is true for the final snapshot.
 	Finished bool
 }
@@ -176,6 +187,11 @@ type segState struct {
 	// e1 is the output-cardinality estimate fixed at segment start.
 	e1      float64
 	e1Valid bool
+
+	// lastDom is the dominant-input slot that most recently supplied p
+	// (-1 before any dominant progress); a change is a dominant-input
+	// switch, observable only for two-dominant (sort-merge) segments.
+	lastDom int
 }
 
 // Indicator is the progress indicator. It implements
@@ -220,8 +236,9 @@ func New(clock *vclock.Clock, decomp *segment.Decomposition, opts Options) *Indi
 	}
 	for _, s := range decomp.Segments {
 		ind.segs = append(ind.segs, &segState{
-			seg:    s,
-			inputs: make([]inputState, len(s.Inputs)),
+			seg:     s,
+			inputs:  make([]inputState, len(s.Inputs)),
+			lastDom: -1,
 		})
 	}
 	ind.initTotalBytes = decomp.TotalInitCost()
@@ -340,6 +357,14 @@ func (ind *Indicator) SegmentDone(seg int) {
 	for i := range ss.inputs {
 		ss.inputs[i].exact = true
 	}
+	ind.opts.Refine.SegmentsCompleted.Inc()
+	ind.opts.Events.Emit("segment_done", ss.endT, map[string]any{
+		"segment":  seg,
+		"out_rows": ss.outTuples,
+		"out_b":    ss.outBytes,
+		"done_u":   ss.doneBytes / storage.PageSize,
+		"start_t":  ss.startT,
+	})
 	if seg == len(ind.segs)-1 && !ind.finished {
 		ind.finished = true
 		ind.takeSnapshot()
@@ -388,6 +413,7 @@ func avg(bytes float64, tuples int64, fallback float64) float64 {
 // fractions for two dominant inputs, per the paper's sort-merge rule).
 func (ind *Indicator) dominantFraction(ss *segState, outEsts []segment.Est) float64 {
 	p := 0.0
+	best := -1
 	for _, di := range ss.seg.Dominant {
 		est := ind.inputEst(ss, di, outEsts)
 		var q float64
@@ -399,9 +425,16 @@ func (ind *Indicator) dominantFraction(ss *segState, outEsts []segment.Est) floa
 		if q > 1 {
 			q = 1
 		}
-		if q > p {
+		if q > p || best < 0 {
 			p = q
+			best = di
 		}
+	}
+	if best >= 0 && ss.inputs[best].firstTuples > 0 {
+		if ss.lastDom >= 0 && best != ss.lastDom {
+			ind.opts.Refine.DominantSwitches.Inc()
+		}
+		ss.lastDom = best
 	}
 	return p
 }
@@ -421,6 +454,10 @@ type estimation struct {
 	// ioShare is each segment's estimated fraction of disk-resident
 	// bytes (filled only when PerSegmentSpeed is enabled).
 	ioShare []float64
+	// p, e1 and e are the current segment's blend internals: the
+	// dominant-input fraction, the optimizer estimate fixed at segment
+	// start, and the blended output-cardinality estimate.
+	p, e1, e float64
 }
 
 func (ind *Indicator) estimate() estimation {
@@ -472,6 +509,9 @@ func (ind *Indicator) estimate() estimation {
 				}
 			}
 			width := avg(ss.outBytes, ss.outTuples, evalOut.Width)
+			if est.current == i {
+				est.p, est.e1, est.e = p, ss.e1, e
+			}
 			outEsts[i] = segment.Est{Card: e, Width: width}
 			cost := evalCost
 			if !ss.seg.Final {
@@ -597,10 +637,37 @@ func (ind *Indicator) onUpdate(float64) {
 func (ind *Indicator) takeSnapshot() {
 	snap := ind.buildSnapshot()
 	ind.snapshots = append(ind.snapshots, snap)
+	ind.observe(snap)
 	for _, fn := range ind.subscribers {
 		fn(snap)
 	}
 	ind.fireTriggers(snap)
+}
+
+// observe publishes one snapshot to the refinement instruments and the
+// structured event log; all sinks are nil-safe no-ops when disabled.
+func (ind *Indicator) observe(snap Snapshot) {
+	m := ind.opts.Refine
+	m.Refreshes.Inc()
+	m.SegmentP.Set(snap.CurrentP)
+	m.BlendE1.Set(snap.CurrentE1)
+	m.BlendE.Set(snap.CurrentE)
+	m.EstTotalU.Set(snap.EstTotalU)
+	m.RemainingSeconds.Set(snap.RemainingSeconds)
+	m.RefreshU.Observe(snap.EstTotalU)
+	ind.opts.Events.Emit("progress", snap.Time, map[string]any{
+		"percent":       snap.Percent,
+		"done_u":        snap.DoneU,
+		"est_total_u":   snap.EstTotalU,
+		"speed_u":       snap.SpeedU,
+		"remaining_s":   snap.RemainingSeconds,
+		"segment":       snap.CurrentSegment,
+		"segments_done": snap.SegmentsDone,
+		"p":             snap.CurrentP,
+		"e1":            snap.CurrentE1,
+		"e":             snap.CurrentE,
+		"finished":      snap.Finished,
+	})
 }
 
 // Current returns an on-demand snapshot without recording it.
@@ -629,6 +696,9 @@ func (ind *Indicator) buildSnapshot() Snapshot {
 		SpeedU:         speed / storage.PageSize,
 		CurrentSegment: est.current,
 		SegmentsDone:   done,
+		CurrentP:       est.p,
+		CurrentE1:      est.e1,
+		CurrentE:       est.e,
 		Finished:       ind.finished,
 	}
 	if est.totalBytes > 0 {

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"progressdb/internal/obs"
+)
+
+// RefinementMetrics are the indicator's engine-wide instruments: they
+// expose the Section 4.5 refinement internals (the E = p·E2 + (1−p)·E1
+// blend inputs, the dominant-input fraction p, dominant-input switches)
+// and the refresh cadence. The zero value is the disabled state; every
+// update is a nil-safe no-op.
+type RefinementMetrics struct {
+	// Refreshes counts progress snapshots taken.
+	Refreshes *obs.Counter
+	// SegmentsCompleted counts segment completions.
+	SegmentsCompleted *obs.Counter
+	// DominantSwitches counts changes of which dominant input currently
+	// supplies p (possible only for sort-merge segments with two dominant
+	// inputs).
+	DominantSwitches *obs.Counter
+	// SegmentP is the current segment's dominant-input fraction p.
+	SegmentP *obs.Gauge
+	// BlendE1 and BlendE are the current segment's optimizer estimate E1
+	// and blended output-cardinality estimate E.
+	BlendE1, BlendE *obs.Gauge
+	// EstTotalU is the refined total query cost estimate, in U.
+	EstTotalU *obs.Gauge
+	// RemainingSeconds is the latest remaining-time estimate.
+	RemainingSeconds *obs.Gauge
+	// RefreshU is a histogram of the refined total-U estimate at each
+	// refresh, showing how the estimate distribution evolves.
+	RefreshU *obs.Histogram
+}
+
+// NewRefinementMetrics registers the indicator's instruments in reg. A
+// nil registry yields the zero (disabled) metrics.
+func NewRefinementMetrics(reg *obs.Registry) RefinementMetrics {
+	if reg == nil {
+		return RefinementMetrics{}
+	}
+	return RefinementMetrics{
+		Refreshes:         reg.Counter("indicator_refreshes_total", "progress snapshots taken"),
+		SegmentsCompleted: reg.Counter("indicator_segments_completed_total", "segments completed"),
+		DominantSwitches:  reg.Counter("indicator_dominant_switches_total", "dominant-input switches within a segment"),
+		SegmentP:          reg.Gauge("indicator_segment_p", "current segment's dominant-input fraction p"),
+		BlendE1:           reg.Gauge("indicator_blend_e1", "current segment's optimizer output estimate E1 (rows)"),
+		BlendE:            reg.Gauge("indicator_blend_e", "current segment's blended output estimate E (rows)"),
+		EstTotalU:         reg.Gauge("indicator_est_total_u", "refined total query cost estimate in U"),
+		RemainingSeconds:  reg.Gauge("indicator_remaining_seconds", "estimated remaining execution time"),
+		RefreshU:          reg.Histogram("progress_refresh_u", "refined total-U estimate at each refresh", []float64{10, 100, 1000, 10000, 100000}),
+	}
+}

@@ -40,6 +40,12 @@ type Env struct {
 	// a scheduler can interleave concurrently executing queries on the
 	// shared virtual clock.
 	Yield func()
+	// Met are the engine-wide executor instruments; the zero value is
+	// disabled (all increments are nil-safe no-ops).
+	Met Metrics
+	// Collect accumulates per-operator actuals for EXPLAIN ANALYZE and
+	// tracing; nil disables collection.
+	Collect *Collector
 }
 
 func (e *Env) yield() {
@@ -84,8 +90,30 @@ type Iterator interface {
 	Close() error
 }
 
-// Build constructs the iterator tree for a physical plan.
+// Build constructs the iterator tree for a physical plan. When per-query
+// collection or engine metrics are enabled, every operator is wrapped
+// with a statistics iterator recording rows/bytes out, open/close virtual
+// times, and per-operator row counters; when both are disabled the bare
+// iterators are returned unchanged.
 func Build(n plan.Node, env *Env) (Iterator, error) {
+	it, err := buildNode(n, env)
+	if err != nil {
+		return nil, err
+	}
+	if env.Collect == nil && !env.Met.Enabled() {
+		return it, nil
+	}
+	return &statsIter{
+		inner: it,
+		env:   env,
+		st:    env.Collect.Stats(n),
+		rows:  env.Met.RowsOut(opName(n)),
+	}, nil
+}
+
+// buildNode constructs the bare iterator for one plan node, recursing
+// through Build so children pick up stats wrapping.
+func buildNode(n plan.Node, env *Env) (Iterator, error) {
 	switch node := n.(type) {
 	case *plan.SeqScan:
 		info, err := env.info(node)

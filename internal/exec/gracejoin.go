@@ -23,8 +23,16 @@ type partitionIter struct {
 	files []*storage.HeapFile
 }
 
-// run partitions the whole input into nbatch files.
+// run partitions the whole input into nbatch files. Partition nodes are
+// driven directly by the owning graceJoin (not through Build), so actuals
+// collection is inlined here.
 func (p *partitionIter) run(nbatch int) error {
+	st := p.env.Collect.Stats(p.node)
+	if st != nil {
+		st.StartT = p.env.Clock.Now()
+		st.Loops++
+	}
+	rows := p.env.Met.RowsOut(opName(p.node))
 	if err := p.child.Open(); err != nil {
 		return err
 	}
@@ -32,6 +40,7 @@ func (p *partitionIter) run(nbatch int) error {
 	for i := range p.files {
 		p.files[i] = storage.CreateHeapFile(p.env.Pool)
 	}
+	p.env.Met.SpillPartitions.Add(int64(nbatch))
 	rep := p.env.rep()
 	for {
 		t, ok, err := p.child.Next()
@@ -44,6 +53,11 @@ func (p *partitionIter) run(nbatch int) error {
 		enc := t.Encode(nil)
 		p.env.Clock.ChargeCPU(cpuHashOp)
 		rep.OutputTuple(p.tag.ProducerSeg, len(enc))
+		rows.Inc()
+		if st != nil {
+			st.Rows++
+			st.Bytes += float64(len(enc))
+		}
 		b := int(hashValue(t[p.node.Key]) % uint64(nbatch))
 		if _, err := p.files[b].Append(enc); err != nil {
 			return err
@@ -58,6 +72,10 @@ func (p *partitionIter) run(nbatch int) error {
 		}
 	}
 	rep.SegmentDone(p.tag.ProducerSeg)
+	if st != nil {
+		st.EndT = p.env.Clock.Now()
+	}
+	p.env.Collect.Notef(p.node, "partitioned into %d batches", nbatch)
 	return nil
 }
 

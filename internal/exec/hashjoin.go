@@ -156,6 +156,8 @@ func (h *hashJoin) startSpill() error {
 		h.buildFiles[i] = storage.CreateHeapFile(h.env.Pool)
 		h.probeFiles[i] = storage.CreateHeapFile(h.env.Pool)
 	}
+	h.env.Met.SpillPartitions.Add(int64(h.nbatch - 1))
+	h.env.Collect.Notef(h.node, "build exceeded work_mem: spilled to %d batches", h.nbatch)
 	old := h.table
 	h.table = make(map[tuple.Value][]tuple.Tuple)
 	h.tableBytes = 0

@@ -66,6 +66,7 @@ func (s *sortIter) Open() error {
 			return err
 		}
 		s.runs = append(s.runs, f)
+		s.env.Met.SortRuns.Inc()
 		buf, bufBytes = nil, 0
 		return nil
 	}
@@ -103,9 +104,11 @@ func (s *sortIter) Open() error {
 		if err := flush(); err != nil {
 			return err
 		}
+		spilled := len(s.runs)
 		if err := s.intermediateMerges(); err != nil {
 			return err
 		}
+		s.env.Collect.Notef(s.node, "external sort: %d run(s) spilled", spilled)
 	}
 	rep.SegmentDone(s.tag.ProducerSeg)
 	return nil
@@ -154,6 +157,8 @@ func (s *sortIter) intermediateMerges() error {
 	for len(s.runs) > fanin {
 		group := s.runs[:fanin]
 		rest := s.runs[fanin:]
+		s.env.Met.MergePasses.Inc()
+		s.env.Collect.Notef(s.node, "intermediate merge: %d runs -> 1", len(group))
 		m, err := newRunMerger(s, group)
 		if err != nil {
 			return err

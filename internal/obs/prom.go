@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PrometheusText renders the registry's snapshot in the Prometheus text
+// exposition format (version 0.0.4): # HELP and # TYPE comment lines
+// followed by one sample line per series. Histograms expand to
+// _bucket{le=...}, _sum, and _count series. The output is deterministic
+// (sorted by metric name, then label).
+func (r *Registry) PrometheusText() string {
+	return FormatPrometheusText(r.Snapshot())
+}
+
+// FormatPrometheusText renders samples (as returned by Registry.Snapshot
+// or ParsePrometheusText) to the text exposition format.
+func FormatPrometheusText(samples []Sample) string {
+	// Group series by metric name so HELP/TYPE headers appear once.
+	byName := map[string][]Sample{}
+	var names []string
+	for _, s := range samples {
+		if _, ok := byName[s.Name]; !ok {
+			names = append(names, s.Name)
+		}
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		group := byName[name]
+		if h := group[0].Help; h != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", name, h)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, group[0].Kind)
+		for _, s := range group {
+			switch s.Kind {
+			case KindHistogram:
+				for _, bk := range s.Buckets {
+					fmt.Fprintf(&b, "%s_bucket{le=\"%s\"} %d\n", name, formatLE(bk.LE), bk.Count)
+				}
+				fmt.Fprintf(&b, "%s_sum %s\n", name, formatFloat(s.Sum))
+				fmt.Fprintf(&b, "%s_count %d\n", name, s.Count)
+			default:
+				fmt.Fprintf(&b, "%s %s\n", s.ID(), formatFloat(s.Value))
+			}
+		}
+	}
+	return b.String()
+}
+
+func formatLE(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ParsePrometheusText parses text in the exposition format produced by
+// PrometheusText back into samples, reassembling histogram bucket/sum/
+// count series. It understands the subset of the format this package
+// emits (one optional label pair per series) — enough for round-trip
+// tests and for scraping the engine's own output.
+func ParsePrometheusText(text string) ([]Sample, error) {
+	metas := map[string]seriesMeta{}
+	// partial histograms being reassembled, keyed by base metric name.
+	hists := map[string]*Sample{}
+	var out []Sample
+
+	flushHist := func(name string) {
+		if h, ok := hists[name]; ok {
+			out = append(out, *h)
+			delete(hists, name)
+		}
+	}
+
+	for lineNo, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 3 {
+				switch fields[1] {
+				case "HELP":
+					m := metas[fields[2]]
+					if len(fields) == 4 {
+						m.help = fields[3]
+					}
+					metas[fields[2]] = m
+				case "TYPE":
+					m := metas[fields[2]]
+					if len(fields) >= 4 {
+						m.kind = Kind(fields[3])
+					}
+					metas[fields[2]] = m
+				}
+			}
+			continue
+		}
+		// Sample line: name[{k="v"}] value
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("obs: line %d: no value in %q", lineNo+1, line)
+		}
+		series, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: bad value %q: %v", lineNo+1, valStr, err)
+		}
+		name := series
+		var lk, lv string
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				return nil, fmt.Errorf("obs: line %d: unterminated label in %q", lineNo+1, series)
+			}
+			name = series[:i]
+			label := series[i+1 : len(series)-1]
+			eq := strings.IndexByte(label, '=')
+			if eq < 0 {
+				return nil, fmt.Errorf("obs: line %d: bad label %q", lineNo+1, label)
+			}
+			lk = label[:eq]
+			lv = strings.Trim(label[eq+1:], "\"")
+		}
+
+		// Histogram component series?
+		base, comp := histComponent(name, metas)
+		if comp != "" {
+			h := hists[base]
+			if h == nil {
+				m := metas[base]
+				h = &Sample{Name: base, Kind: KindHistogram, Help: m.help}
+				hists[base] = h
+			}
+			switch comp {
+			case "bucket":
+				if lk != "le" {
+					return nil, fmt.Errorf("obs: line %d: histogram bucket without le label", lineNo+1)
+				}
+				le, err := parseLE(lv)
+				if err != nil {
+					return nil, fmt.Errorf("obs: line %d: %v", lineNo+1, err)
+				}
+				h.Buckets = append(h.Buckets, Bucket{LE: le, Count: int64(val)})
+			case "sum":
+				h.Sum = val
+			case "count":
+				h.Count = int64(val)
+				flushHist(base) // _count is emitted last
+			}
+			continue
+		}
+
+		m := metas[name]
+		kind := m.kind
+		if kind == "" {
+			kind = KindGauge // untyped: treat as gauge
+		}
+		out = append(out, Sample{
+			Name: name, LabelKey: lk, LabelVal: lv,
+			Kind: kind, Help: m.help, Value: val,
+		})
+	}
+	// Flush any histogram missing its _count line.
+	for name := range hists {
+		flushHist(name)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out, nil
+}
+
+// seriesMeta is the HELP/TYPE metadata accumulated while parsing.
+type seriesMeta struct {
+	help string
+	kind Kind
+}
+
+// histComponent reports whether name is a histogram component series
+// (base_bucket, base_sum, base_count for a base declared as TYPE
+// histogram), returning the base name and the component.
+func histComponent(name string, metas map[string]seriesMeta) (base, comp string) {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suffix) {
+			b := strings.TrimSuffix(name, suffix)
+			if metas[b].kind == KindHistogram {
+				return b, strings.TrimPrefix(suffix, "_")
+			}
+		}
+	}
+	return "", ""
+}
+
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad le bound %q", s)
+	}
+	return v, nil
+}

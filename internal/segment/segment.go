@@ -147,6 +147,12 @@ type Decomposition struct {
 	Segments []*Segment
 	// Info maps boundary-relevant plan nodes to their tags.
 	Info map[plan.Node]NodeInfo
+	// NodeSeg maps every plan node to the segment whose pipeline performs
+	// its work: blocking producers (Sort, Materialize, Partition, HashAgg)
+	// map to the producer segment they terminate; everything else maps to
+	// the consuming segment. Used by tracing and EXPLAIN ANALYZE to nest
+	// operator spans under segment spans.
+	NodeSeg map[plan.Node]int
 	// WorkMemBytes is the memory budget used for spill/merge cost terms.
 	WorkMemBytes float64
 
@@ -159,6 +165,7 @@ type Decomposition struct {
 func Decompose(root plan.Node, workMemPages int) *Decomposition {
 	d := &Decomposition{
 		Info:         make(map[plan.Node]NodeInfo),
+		NodeSeg:      make(map[plan.Node]int),
 		WorkMemBytes: float64(workMemPages) * storage.PageSize,
 	}
 	final := d.newSegment(root, true, KindFinal)
@@ -190,13 +197,16 @@ func Decompose(root plan.Node, workMemPages int) *Decomposition {
 	for i, s := range ordered {
 		s.ID = i
 	}
-	// Re-tag Info with final IDs.
+	// Re-tag Info and NodeSeg with final IDs.
 	for n, info := range d.Info {
 		info.Seg = d.segIDByOld[info.Seg]
 		if info.ProducerSeg >= 0 {
 			info.ProducerSeg = d.segIDByOld[info.ProducerSeg]
 		}
 		d.Info[n] = info
+	}
+	for n, id := range d.NodeSeg {
+		d.NodeSeg[n] = d.segIDByOld[id]
 	}
 	d.Segments = ordered
 
@@ -250,6 +260,9 @@ func (d *Decomposition) addSegInput(s *Segment, n plan.Node, child *Segment, est
 // attach assigns node's output processing to segment s, recursing into
 // children and creating producer segments at blocking boundaries.
 func (d *Decomposition) attach(n plan.Node, s *Segment) {
+	// Default: the node's work happens in the consuming segment's
+	// pipeline. Blocking cases below override with their producer segment.
+	d.NodeSeg[n] = s.ID
 	switch node := n.(type) {
 	case *plan.SeqScan:
 		idx := d.addBaseInput(s, node, node.Table)
@@ -281,24 +294,28 @@ func (d *Decomposition) attach(n plan.Node, s *Segment) {
 		d.attach(node.Probe, s)
 	case *plan.Partition:
 		p := d.newSegment(node, false, KindPartition)
+		d.NodeSeg[node] = p.ID
 		d.attach(node.Child, p)
 		est := Est{Card: node.Est().Card, Width: node.Est().Width}
 		idx := d.addSegInput(s, node, p, est)
 		d.Info[node] = NodeInfo{Seg: s.ID, Input: idx, ProducerSeg: p.ID}
 	case *plan.Sort:
 		p := d.newSegment(node, false, KindSort)
+		d.NodeSeg[node] = p.ID
 		d.attach(node.Child, p)
 		est := Est{Card: node.Est().Card, Width: node.Est().Width}
 		idx := d.addSegInput(s, node, p, est)
 		d.Info[node] = NodeInfo{Seg: s.ID, Input: idx, ProducerSeg: p.ID}
 	case *plan.Materialize:
 		p := d.newSegment(node, false, KindMaterialize)
+		d.NodeSeg[node] = p.ID
 		d.attach(node.Child, p)
 		est := Est{Card: node.Est().Card, Width: node.Est().Width}
 		idx := d.addSegInput(s, node, p, est)
 		d.Info[node] = NodeInfo{Seg: s.ID, Input: idx, ProducerSeg: p.ID}
 	case *plan.HashAgg:
 		p := d.newSegment(node, false, KindAggregate)
+		d.NodeSeg[node] = p.ID
 		d.attach(node.Child, p)
 		est := Est{Card: node.Est().Card, Width: node.Est().Width}
 		idx := d.addSegInput(s, node, p, est)

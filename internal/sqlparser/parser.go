@@ -23,6 +23,46 @@ func Parse(src string) (*SelectStmt, error) {
 	return stmt, nil
 }
 
+// Statement is a parsed top-level statement: a SELECT, optionally
+// prefixed with EXPLAIN or EXPLAIN ANALYZE.
+type Statement struct {
+	// Explain is true for both EXPLAIN and EXPLAIN ANALYZE.
+	Explain bool
+	// Analyze is true for EXPLAIN ANALYZE (run the query, then render the
+	// plan annotated with actuals).
+	Analyze bool
+	// Select is the underlying query.
+	Select *SelectStmt
+}
+
+// ParseStatement parses one top-level statement, accepting an optional
+// EXPLAIN [ANALYZE] prefix before the SELECT.
+func ParseStatement(src string) (*Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st := &Statement{}
+	if p.atKeyword("explain") {
+		p.next()
+		st.Explain = true
+		if p.atKeyword("analyze") {
+			p.next()
+			st.Analyze = true
+		}
+	}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF) {
+		return nil, fmt.Errorf("sql: unexpected %s after statement", p.cur())
+	}
+	st.Select = sel
+	return st, nil
+}
+
 type parser struct {
 	toks []token
 	i    int

@@ -1,0 +1,43 @@
+package sqlparser
+
+import "testing"
+
+func TestParseStatementExplainPrefix(t *testing.T) {
+	cases := []struct {
+		src              string
+		explain, analyze bool
+	}{
+		{"select * from t", false, false},
+		{"explain select * from t", true, false},
+		{"EXPLAIN SELECT * FROM t", true, false},
+		{"explain analyze select * from t", true, true},
+		{"Explain Analyze select a from t where a = 1", true, true},
+	}
+	for _, c := range cases {
+		st, err := ParseStatement(c.src)
+		if err != nil {
+			t.Fatalf("ParseStatement(%q): %v", c.src, err)
+		}
+		if st.Explain != c.explain || st.Analyze != c.analyze {
+			t.Errorf("ParseStatement(%q) = explain:%v analyze:%v, want %v/%v",
+				c.src, st.Explain, st.Analyze, c.explain, c.analyze)
+		}
+		if st.Select == nil {
+			t.Errorf("ParseStatement(%q): nil Select", c.src)
+		}
+	}
+}
+
+func TestParseStatementErrors(t *testing.T) {
+	for _, src := range []string{
+		"explain",                         // nothing after the prefix
+		"analyze select * from t",         // ANALYZE without EXPLAIN is not a statement
+		"explain explain select 1 from t", // doubled prefix
+		"explain select * from t where",   // truncated WHERE clause
+		"explain select * from t x 1",     // trailing junk after alias
+	} {
+		if _, err := ParseStatement(src); err == nil {
+			t.Errorf("ParseStatement(%q) succeeded, want error", src)
+		}
+	}
+}

@@ -3,6 +3,8 @@ package storage
 import (
 	"container/list"
 	"fmt"
+
+	"progressdb/internal/obs"
 )
 
 // BufferPool is a page cache with LRU replacement in front of the
@@ -17,7 +19,41 @@ type BufferPool struct {
 	frames map[PageID]*list.Element
 	lru    *list.List // front = most recently used
 
-	hits, misses int64
+	hits, misses          int64
+	evictions, writebacks int64
+
+	met PoolMetrics
+}
+
+// PoolMetrics are the buffer pool's engine-wide instruments. The zero
+// value (all-nil counters) is the disabled state; every increment is
+// nil-safe.
+type PoolMetrics struct {
+	// Hits and Misses count page lookups served from / read through the
+	// pool.
+	Hits, Misses *obs.Counter
+	// Evictions counts frames displaced by the LRU policy.
+	Evictions *obs.Counter
+	// DirtyWritebacks counts dirty pages written back to disk on eviction
+	// or flush.
+	DirtyWritebacks *obs.Counter
+}
+
+// SetMetrics installs observability instruments; pass the zero value to
+// disable. Counters are cumulative for the pool's lifetime and are not
+// reset by Clear (Prometheus counters must be monotonic).
+func (bp *BufferPool) SetMetrics(m PoolMetrics) { bp.met = m }
+
+// PoolStats is a snapshot of the pool's access accounting since the last
+// Clear (the paper's cold restart).
+type PoolStats struct {
+	Hits, Misses          int64
+	Evictions, Writebacks int64
+}
+
+// Stats returns the pool's access accounting since the last Clear.
+func (bp *BufferPool) Stats() PoolStats {
+	return PoolStats{Hits: bp.hits, Misses: bp.misses, Evictions: bp.evictions, Writebacks: bp.writebacks}
 }
 
 type frame struct {
@@ -60,10 +96,12 @@ func (bp *BufferPool) HitRate() float64 {
 func (bp *BufferPool) Get(pid PageID) ([]byte, error) {
 	if el, ok := bp.frames[pid]; ok {
 		bp.hits++
+		bp.met.Hits.Inc()
 		bp.lru.MoveToFront(el)
 		return el.Value.(*frame).data, nil
 	}
 	bp.misses++
+	bp.met.Misses.Inc()
 	data, err := bp.disk.readPage(pid)
 	if err != nil {
 		return nil, err
@@ -113,7 +151,11 @@ func (bp *BufferPool) insert(fr *frame) error {
 		vf := victim.Value.(*frame)
 		bp.lru.Remove(victim)
 		delete(bp.frames, vf.pid)
+		bp.evictions++
+		bp.met.Evictions.Inc()
 		if vf.dirty {
+			bp.writebacks++
+			bp.met.DirtyWritebacks.Inc()
 			if err := bp.disk.writePage(vf.pid, vf.data); err != nil {
 				return fmt.Errorf("storage: evicting %v: %w", vf.pid, err)
 			}
@@ -127,6 +169,8 @@ func (bp *BufferPool) Flush() error {
 	for el := bp.lru.Back(); el != nil; el = el.Prev() {
 		fr := el.Value.(*frame)
 		if fr.dirty {
+			bp.writebacks++
+			bp.met.DirtyWritebacks.Inc()
 			if err := bp.disk.writePage(fr.pid, fr.data); err != nil {
 				return err
 			}
@@ -156,4 +200,5 @@ func (bp *BufferPool) Clear() {
 	bp.frames = make(map[PageID]*list.Element)
 	bp.lru = list.New()
 	bp.hits, bp.misses = 0, 0
+	bp.evictions, bp.writebacks = 0, 0
 }

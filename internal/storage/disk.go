@@ -10,6 +10,7 @@ package storage
 import (
 	"fmt"
 
+	"progressdb/internal/obs"
 	"progressdb/internal/vclock"
 )
 
@@ -64,7 +65,20 @@ type Disk struct {
 	files map[FileID]*file
 	next  FileID
 	stats DiskStats
+	met   DiskMetrics
 }
+
+// DiskMetrics are the disk's engine-wide instruments (physical page I/O
+// by access pattern). The zero value is the disabled state; increments
+// are nil-safe.
+type DiskMetrics struct {
+	SeqReads, RandReads   *obs.Counter
+	SeqWrites, RandWrites *obs.Counter
+}
+
+// SetMetrics installs observability instruments; pass the zero value to
+// disable.
+func (d *Disk) SetMetrics(m DiskMetrics) { d.met = m }
 
 // NewDisk creates an empty simulated disk charging I/O to clock.
 func NewDisk(clock *vclock.Clock) *Disk {
@@ -116,9 +130,11 @@ func (d *Disk) readPage(pid PageID) ([]byte, error) {
 	if pid.Num == f.lastRead+1 {
 		d.clock.ChargeSeqIO(1)
 		d.stats.SeqReads++
+		d.met.SeqReads.Inc()
 	} else {
 		d.clock.ChargeRandIO(1)
 		d.stats.RandReads++
+		d.met.RandReads.Inc()
 	}
 	f.lastRead = pid.Num
 	return f.pages[pid.Num], nil
@@ -145,9 +161,11 @@ func (d *Disk) writePage(pid PageID, data []byte) error {
 	if pid.Num == f.lastWrit+1 {
 		d.clock.ChargeSeqIO(1)
 		d.stats.SeqWrites++
+		d.met.SeqWrites.Inc()
 	} else {
 		d.clock.ChargeRandIO(1)
 		d.stats.RandWrites++
+		d.met.RandWrites.Inc()
 	}
 	f.lastWrit = pid.Num
 	f.pages[pid.Num] = data

@@ -24,10 +24,12 @@ package progressdb
 
 import (
 	"fmt"
+	"io"
 
 	"progressdb/internal/catalog"
 	"progressdb/internal/core"
 	"progressdb/internal/exec"
+	"progressdb/internal/obs"
 	"progressdb/internal/optimizer"
 	"progressdb/internal/plan"
 	"progressdb/internal/segment"
@@ -81,6 +83,20 @@ type Config struct {
 	// each segment's disk-vs-memory byte mix) scaled by the observed
 	// load, instead of one global speed.
 	PerSegmentSpeed bool
+	// Metrics enables the engine-wide metrics registry (DB.Metrics,
+	// DB.MetricsText, DB.MetricsJSON): buffer-pool, disk, executor, and
+	// indicator-refinement instruments. Off by default; the disabled path
+	// costs only nil checks in operator hot loops (the paper's <1%
+	// statistics-collection overhead budget).
+	Metrics bool
+	// Trace enables per-query tracing: every Exec fills Result.Trace with
+	// a query → segment → operator span tree carrying virtual times, U
+	// consumed, and estimated-vs-actual cardinalities. Off by default.
+	// EXPLAIN ANALYZE collects a trace regardless of this flag.
+	Trace bool
+	// TraceSink, when non-nil, receives a JSONL structured event log: one
+	// line per progress refresh and per segment completion.
+	TraceSink io.Writer
 }
 
 // DB is one engine instance: simulated storage, a catalog, and a virtual
@@ -89,6 +105,13 @@ type DB struct {
 	cfg   Config
 	clock *vclock.Clock
 	cat   *catalog.Catalog
+
+	// Observability (all fields are inert zero values when disabled).
+	reg     *obs.Registry
+	execMet exec.Metrics
+	refine  core.RefinementMetrics
+	events  *obs.EventWriter
+	queries *obs.Counter
 }
 
 // Open creates an engine.
@@ -113,8 +136,14 @@ func Open(cfg Config) *DB {
 		costs.CPUTuple = cfg.CPUTupleCost
 	}
 	clock := vclock.New(costs, nil)
-	pool := storage.NewBufferPool(storage.NewDisk(clock), cfg.BufferPoolPages)
-	return &DB{cfg: cfg, clock: clock, cat: catalog.New(pool)}
+	disk := storage.NewDisk(clock)
+	pool := storage.NewBufferPool(disk, cfg.BufferPoolPages)
+	db := &DB{cfg: cfg, clock: clock, cat: catalog.New(pool)}
+	db.events = obs.NewEventWriter(cfg.TraceSink)
+	if cfg.Metrics {
+		db.wireMetrics(pool, disk)
+	}
+	return db
 }
 
 // Now returns the current virtual time in seconds.
@@ -280,6 +309,11 @@ func (db *DB) plan(sql string) (plan.Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	return db.planSelect(stmt)
+}
+
+// planSelect runs the optimizer on an already-parsed SELECT.
+func (db *DB) planSelect(stmt *sqlparser.SelectStmt) (plan.Node, error) {
 	return optimizer.Plan(db.cat, stmt, optimizer.Options{WorkMemPages: db.cfg.WorkMemPages})
 }
 
@@ -326,6 +360,10 @@ type Result struct {
 	VirtualSeconds float64
 	// History is every progress report taken during execution.
 	History []Report
+	// Trace is the per-query span tree (query → segment → operator),
+	// filled when Config.Trace is set, Config.TraceSink is non-nil, or
+	// the query ran under ExecAnalyze / ExplainAnalyze; nil otherwise.
+	Trace *obs.Trace
 }
 
 // RowCount returns the number of result rows.
@@ -349,96 +387,29 @@ func (db *DB) exec(sql string, onProgress func(Report), keepRows bool) (*Result,
 	if err != nil {
 		return nil, err
 	}
-	d := segment.Decompose(p, db.cfg.WorkMemPages)
-	ind := core.New(db.clock, d, core.Options{
-		UpdatePeriod:    db.cfg.ProgressUpdateSeconds,
-		SpeedWindow:     db.cfg.SpeedWindowSeconds,
-		DecayAlpha:      db.cfg.SpeedDecayAlpha,
-		PerSegmentSpeed: db.cfg.PerSegmentSpeed,
-	})
-	if onProgress != nil {
-		ind.Subscribe(func(s core.Snapshot) { onProgress(toReport(s)) })
-	}
-	ind.Start()
-	defer ind.Stop()
-
-	res := &Result{}
-	for _, c := range p.Schema().Cols {
-		res.Columns = append(res.Columns, c.Name)
-	}
-	env := &exec.Env{
-		Pool:         db.cat.Pool(),
-		Clock:        db.clock,
-		WorkMemPages: db.cfg.WorkMemPages,
-		Reporter:     ind,
-		Decomp:       d,
-	}
-	start := db.clock.Now()
-	var sink func(tuple.Tuple) error
-	if keepRows {
-		sink = func(t tuple.Tuple) error {
-			row := make([]interface{}, len(t))
-			for i, v := range t {
-				switch v.Kind {
-				case tuple.Int:
-					row[i] = v.I
-				case tuple.Float:
-					row[i] = v.F
-				default:
-					row[i] = v.S
-				}
-			}
-			res.Rows = append(res.Rows, row)
-			return nil
-		}
-	}
-	if _, err := exec.Run(env, p, sink); err != nil {
+	out, err := db.run(p, sql, onProgress, keepRows, db.traceEnabled())
+	if err != nil {
 		return nil, err
 	}
-	res.VirtualSeconds = db.clock.Now() - start
-	for _, s := range ind.Snapshots() {
-		res.History = append(res.History, toReport(s))
-	}
-	return res, nil
+	return out.res, nil
 }
 
 // ExecAnalyze runs a query and returns, alongside the result, an
 // EXPLAIN ANALYZE-style per-segment table comparing the optimizer's
 // initial estimates with what actually happened and where the (virtual)
 // time went — the paper's Section 6 "performance tuning" use of the
-// progress indicator's history.
+// progress indicator's history. For the per-operator annotated plan
+// tree, use ExplainAnalyze.
 func (db *DB) ExecAnalyze(sql string) (*Result, string, error) {
 	p, err := db.plan(sql)
 	if err != nil {
 		return nil, "", err
 	}
-	d := segment.Decompose(p, db.cfg.WorkMemPages)
-	ind := core.New(db.clock, d, core.Options{
-		UpdatePeriod: db.cfg.ProgressUpdateSeconds,
-		SpeedWindow:  db.cfg.SpeedWindowSeconds,
-	})
-	ind.Start()
-	defer ind.Stop()
-	env := &exec.Env{
-		Pool:         db.cat.Pool(),
-		Clock:        db.clock,
-		WorkMemPages: db.cfg.WorkMemPages,
-		Reporter:     ind,
-		Decomp:       d,
-	}
-	res := &Result{}
-	for _, c := range p.Schema().Cols {
-		res.Columns = append(res.Columns, c.Name)
-	}
-	start := db.clock.Now()
-	if _, err := exec.Run(env, p, nil); err != nil {
+	out, err := db.run(p, sql, nil, false, true)
+	if err != nil {
 		return nil, "", err
 	}
-	res.VirtualSeconds = db.clock.Now() - start
-	for _, s := range ind.Snapshots() {
-		res.History = append(res.History, toReport(s))
-	}
-	return res, core.FormatSegmentReports(ind.SegmentReports()), nil
+	return out.res, core.FormatSegmentReports(out.ind.SegmentReports()), nil
 }
 
 // FormatReport renders a report as the paper's Figure 2 progress box.
