@@ -1,0 +1,141 @@
+package progressdb
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"progressdb/internal/exec"
+)
+
+// cancelDB builds an I/O-bound table big enough that a scan spans many
+// progress refreshes.
+func cancelDB(t *testing.T) *DB {
+	t.Helper()
+	db := Open(Config{
+		ProgressUpdateSeconds: 0.5,
+		SpeedWindowSeconds:    1,
+		SeqPageCost:           0.01,
+		RandPageCost:          0.08,
+		BufferPoolPages:       64,
+	})
+	db.MustCreateTable("big", Col("k", Int), Col("pad", Text))
+	pad := strings.Repeat("x", 100)
+	for i := 0; i < 20000; i++ {
+		db.MustInsert("big", int64(i), pad)
+	}
+	if err := db.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.ColdRestart(); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestExecContextCancelMidQuery(t *testing.T) {
+	db := cancelDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	reports := 0
+	_, err := db.ExecContext(ctx, "select * from big", func(r Report) {
+		reports++
+		if reports == 2 {
+			cancel() // pull the plug mid-segment
+		}
+	})
+	if err == nil {
+		t.Fatal("canceled query returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want errors.Is(context.Canceled)", err)
+	}
+	var ce *exec.CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %T %v, want *exec.CanceledError", err, err)
+	}
+	if reports < 2 {
+		t.Fatalf("only %d progress reports before cancel", reports)
+	}
+
+	// The engine must stay usable after the unwind.
+	res, err := db.Exec("select * from big where k < 10", nil)
+	if err != nil {
+		t.Fatalf("query after cancel: %v", err)
+	}
+	if res.RowCount() != 10 {
+		t.Fatalf("rows after cancel = %d", res.RowCount())
+	}
+}
+
+func TestExecContextPreCanceled(t *testing.T) {
+	db := cancelDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.ExecContext(ctx, "select * from big", nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestExecContextUncanceledCompletes(t *testing.T) {
+	db := cancelDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	res, err := db.ExecContext(ctx, "select * from big where k < 100", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowCount() != 100 {
+		t.Fatalf("rows = %d", res.RowCount())
+	}
+	// Background contexts never even install the check.
+	if _, err := db.ExecContext(context.Background(), "select * from big where k < 5", nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecGroupMemberCancel(t *testing.T) {
+	db := cancelDB(t)
+	db.MustCreateTable("big2", Col("k", Int), Col("pad", Text))
+	pad := strings.Repeat("x", 100)
+	for i := 0; i < 20000; i++ {
+		db.MustInsert("big2", int64(i), pad)
+	}
+	if err := db.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	reports := 0
+	results, err := db.ExecGroup([]GroupQuery{
+		{Name: "survivor", SQL: "select * from big where k < 500", KeepRows: true},
+		{Name: "victim", SQL: "select * from big2", Ctx: ctx, OnProgress: func(r Report) {
+			reports++
+			if reports == 2 {
+				cancel()
+			}
+		}},
+	})
+	var ge *GroupError
+	if !errors.As(err, &ge) {
+		t.Fatalf("err = %T %v, want *GroupError", err, err)
+	}
+	if ge.Errs[0] != nil {
+		t.Fatalf("survivor errored: %v", ge.Errs[0])
+	}
+	if !errors.Is(ge.Errs[1], context.Canceled) {
+		t.Fatalf("victim err = %v, want context.Canceled", ge.Errs[1])
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("group err should unwrap to context.Canceled, got %v", err)
+	}
+	if results[0] == nil || results[0].RowCount() != 500 {
+		t.Fatalf("survivor result = %+v, want 500 rows", results[0])
+	}
+	if results[1] != nil {
+		t.Fatal("victim should have a nil result slot")
+	}
+}

@@ -1,5 +1,6 @@
 #!/bin/sh
-# ci.sh — the repo's check suite: formatting, vet, build, race tests.
+# ci.sh — the repo's check suite: formatting, vet, build (library +
+# every cmd binary), the progressd end-to-end smoke, race tests.
 # Run directly or via `make check`.
 set -eu
 
@@ -19,6 +20,18 @@ go vet ./...
 
 echo "== go build =="
 go build ./...
+
+echo "== build binaries =="
+bindir=$(mktemp -d)
+trap 'rm -rf "$bindir"' EXIT
+go build -o "$bindir" ./cmd/...
+ls "$bindir"
+
+echo "== progressd smoke =="
+# End to end on an ephemeral port: submit a query, stream one SSE
+# progress event, cancel it mid-flight, verify the server metrics,
+# shut down cleanly.
+"$bindir"/progressd -smoke
 
 echo "== go test -race =="
 go test -race ./...

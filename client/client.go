@@ -1,0 +1,220 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Client talks to a progressd server.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New creates a client for a server base URL, e.g.
+// "http://127.0.0.1:8080". The underlying http.Client has no timeout:
+// progress streams are long-lived; bound calls with a context instead.
+func New(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+// APIError is a non-2xx server response.
+type APIError struct {
+	// Status is the HTTP status code (429 = admission queue full).
+	Status int
+	// Msg is the server's error message.
+	Msg string
+	// QueueDepth accompanies 429: the full queue's capacity.
+	QueueDepth int
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("progressd: %d: %s", e.Status, e.Msg)
+}
+
+// IsQueueFull reports whether err is a 429 admission rejection.
+func IsQueueFull(err error) bool {
+	var ae *APIError
+	return errors.As(err, &ae) && ae.Status == http.StatusTooManyRequests
+}
+
+// CloseIdleConnections closes keep-alive connections the client is no
+// longer using. Mostly useful in tests that account for goroutines.
+func (c *Client) CloseIdleConnections() {
+	c.hc.CloseIdleConnections()
+}
+
+// do performs one JSON request/response round trip.
+func (c *Client) do(ctx context.Context, method, path string, in, out interface{}) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return apiError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func apiError(resp *http.Response) error {
+	ae := &APIError{Status: resp.StatusCode}
+	var er ErrorResponse
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	if json.Unmarshal(data, &er) == nil && er.Error != "" {
+		ae.Msg, ae.QueueDepth = er.Error, er.QueueDepth
+	} else {
+		ae.Msg = strings.TrimSpace(string(data))
+	}
+	return ae
+}
+
+// Submit enqueues a query; the server answers immediately with the
+// query ID and admission state. A full queue returns an *APIError with
+// Status 429 (see IsQueueFull).
+func (c *Client) Submit(ctx context.Context, req SubmitRequest) (SubmitResponse, error) {
+	var out SubmitResponse
+	err := c.do(ctx, http.MethodPost, "/queries", req, &out)
+	return out, err
+}
+
+// Get fetches one query's lifecycle snapshot.
+func (c *Client) Get(ctx context.Context, id string) (QueryInfo, error) {
+	var out QueryInfo
+	err := c.do(ctx, http.MethodGet, "/queries/"+id, nil, &out)
+	return out, err
+}
+
+// List fetches all queries in submission order.
+func (c *Client) List(ctx context.Context) ([]QueryInfo, error) {
+	var out []QueryInfo
+	err := c.do(ctx, http.MethodGet, "/queries", nil, &out)
+	return out, err
+}
+
+// Cancel requests cancellation. Queued queries transition to canceled
+// immediately; running queries unwind at the executor's next safe point
+// and transition shortly after (poll Get to observe it). Canceling a
+// query already in a terminal state is a no-op. The returned snapshot
+// is taken after the request is registered.
+func (c *Client) Cancel(ctx context.Context, id string) (QueryInfo, error) {
+	var out QueryInfo
+	err := c.do(ctx, http.MethodDelete, "/queries/"+id, nil, &out)
+	return out, err
+}
+
+// Result fetches a completed query's rows (404 until the query is done).
+func (c *Client) Result(ctx context.Context, id string) (ResultResponse, error) {
+	var out ResultResponse
+	err := c.do(ctx, http.MethodGet, "/queries/"+id+"/result", nil, &out)
+	return out, err
+}
+
+// Health fetches the server's health summary.
+func (c *Client) Health(ctx context.Context) (HealthResponse, error) {
+	var out HealthResponse
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &out)
+	return out, err
+}
+
+// MetricsText fetches the Prometheus exposition page.
+func (c *Client) MetricsText(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", apiError(resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	return string(data), err
+}
+
+// ErrStop stops a Stream early from inside the callback without
+// reporting an error.
+var ErrStop = errors.New("client: stop streaming")
+
+// Stream subscribes to a query's live progress (GET
+// /queries/{id}/progress, Server-Sent Events) and invokes fn for every
+// event, including a replay of refreshes that happened before the
+// subscription. It returns nil after the terminal event (which fn also
+// sees), when fn returns ErrStop, or with the first error otherwise.
+func (c *Client) Stream(ctx context.Context, id string, fn func(ProgressEvent) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/queries/"+id+"/progress", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "data:"):
+			data = append(data, strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " ")...)
+		case line == "" && len(data) > 0:
+			var ev ProgressEvent
+			if err := json.Unmarshal(data, &ev); err != nil {
+				return fmt.Errorf("client: bad SSE payload: %w", err)
+			}
+			data = data[:0]
+			if err := fn(ev); err != nil {
+				if errors.Is(err, ErrStop) {
+					return nil
+				}
+				return err
+			}
+			if ev.Terminal() {
+				return nil
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return err
+	}
+	return io.ErrUnexpectedEOF
+}

@@ -1,0 +1,207 @@
+// Package client is the Go SDK for progressd, the progressdb network
+// query service: submit queries over HTTP, stream their live progress
+// indicator over Server-Sent Events, fetch results, and cancel.
+//
+// This file defines the wire schema shared by the server
+// (internal/server), the daemon (cmd/progressd), and the -json output
+// of cmd/progress. Every progress refresh travels as one ProgressEvent
+// JSON object — the paper's Figure 2 fields (percent done, estimated
+// remaining seconds, execution speed, cost in U) plus the current
+// segment's estimator internals.
+package client
+
+import (
+	"math"
+
+	"progressdb"
+)
+
+// State is a query's lifecycle state on the server.
+type State string
+
+// Lifecycle states. A query moves queued → running → one of the three
+// terminal states.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// SubmitRequest is the body of POST /queries.
+type SubmitRequest struct {
+	// SQL is the SELECT to run (required).
+	SQL string `json:"sql"`
+	// Name labels the query in listings and progress displays.
+	Name string `json:"name,omitempty"`
+	// KeepRows materializes result rows for GET /queries/{id}/result.
+	// Off by default: servers streaming progress for large queries
+	// usually only need the indicator.
+	KeepRows bool `json:"keep_rows,omitempty"`
+	// PaceMS throttles execution to at least this many real
+	// milliseconds per progress refresh. The engine's clock is virtual —
+	// a query that "runs" for 900 virtual seconds executes in
+	// milliseconds of real time — so pacing is how a human (or a test)
+	// watches the progress bar advance and has time to cancel. 0 runs
+	// at full speed.
+	PaceMS int `json:"pace_ms,omitempty"`
+}
+
+// SubmitResponse is the 202 body of POST /queries.
+type SubmitResponse struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	// QueuePosition is the 1-based position among queued queries (0
+	// when the query was handed to a worker immediately).
+	QueuePosition int `json:"queue_position,omitempty"`
+}
+
+// ErrorResponse is the JSON body of a non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// QueueDepth is set on 429 responses: the admission queue's
+	// capacity, all of it in use.
+	QueueDepth int `json:"queue_depth,omitempty"`
+}
+
+// SegmentDetail is the executing segment's Section 4.5 estimator state.
+type SegmentDetail struct {
+	// Index is the segment's execution-order index.
+	Index int `json:"index"`
+	// P is the dominant-input fraction processed.
+	P float64 `json:"p"`
+	// E1 is the optimizer's output estimate fixed at segment start and
+	// E the refined blend E = p·E2 + (1−p)·E1, in rows.
+	E1 float64 `json:"e1"`
+	E  float64 `json:"e"`
+}
+
+// ProgressEvent is one progress-indicator refresh on the wire: the SSE
+// stream's data payload and cmd/progress -json's line format. Non-finite
+// numbers (an unknown remaining time is NaN or +Inf early on) are
+// encoded as -1, since JSON cannot carry them.
+type ProgressEvent struct {
+	// QueryID identifies the query (empty in cmd/progress -json output).
+	QueryID string `json:"query_id,omitempty"`
+	// Seq numbers the query's events from 1, strictly increasing; the
+	// terminal event has the highest Seq.
+	Seq int `json:"seq"`
+	// State is set on terminal events (done/failed/canceled) and on the
+	// first event of a running query; empty on ordinary refreshes.
+	State State `json:"state,omitempty"`
+	// ElapsedSeconds is virtual time since the query started.
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// EstTotalU is the refined total cost and DoneU the completed work,
+	// both in U (pages).
+	EstTotalU float64 `json:"est_total_u"`
+	DoneU     float64 `json:"done_u"`
+	// Percent is estimated percent done, 0–100.
+	Percent float64 `json:"percent"`
+	// SpeedU is the monitored speed in U/second.
+	SpeedU float64 `json:"speed_u"`
+	// RemainingSeconds is the estimated remaining time (-1 = unknown).
+	RemainingSeconds float64 `json:"remaining_seconds"`
+	// CurrentSegment is the executing segment index (-1 when done) and
+	// SegmentsDone the number of completed segments.
+	CurrentSegment int `json:"current_segment"`
+	SegmentsDone   int `json:"segments_done"`
+	// StepPercent is the trivial step-counting baseline.
+	StepPercent float64 `json:"step_percent"`
+	// Segment carries the current segment's estimator detail, when a
+	// segment is mid-execution.
+	Segment *SegmentDetail `json:"segment,omitempty"`
+	// Finished marks the indicator's final refresh.
+	Finished bool `json:"finished,omitempty"`
+	// Error carries the failure message on failed/canceled terminal
+	// events.
+	Error string `json:"error,omitempty"`
+}
+
+// Terminal reports whether the event closes the stream.
+func (e ProgressEvent) Terminal() bool { return e.State.Terminal() }
+
+// finite maps NaN and ±Inf to -1 for JSON transport.
+func finite(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return -1
+	}
+	return v
+}
+
+// EventFromReport converts an engine progress report to the wire form.
+// Seq is left 0; the publisher assigns it.
+func EventFromReport(queryID string, r progressdb.Report) ProgressEvent {
+	ev := ProgressEvent{
+		QueryID:          queryID,
+		ElapsedSeconds:   finite(r.ElapsedSeconds),
+		EstTotalU:        finite(r.EstimatedCostU),
+		DoneU:            finite(r.DoneU),
+		Percent:          finite(r.Percent),
+		SpeedU:           finite(r.SpeedU),
+		RemainingSeconds: finite(r.RemainingSeconds),
+		CurrentSegment:   r.CurrentSegment,
+		SegmentsDone:     r.SegmentsDone,
+		StepPercent:      finite(r.StepPercent),
+		Finished:         r.Finished,
+	}
+	if r.CurrentSegment >= 0 && !r.Finished {
+		ev.Segment = &SegmentDetail{
+			Index: r.CurrentSegment,
+			P:     finite(r.CurrentP),
+			E1:    finite(r.CurrentE1),
+			E:     finite(r.CurrentE),
+		}
+	}
+	return ev
+}
+
+// QueryInfo is one query's snapshot: GET /queries/{id} and the elements
+// of GET /queries.
+type QueryInfo struct {
+	ID    string `json:"id"`
+	Name  string `json:"name,omitempty"`
+	SQL   string `json:"sql"`
+	State State  `json:"state"`
+	// QueuePosition is the 1-based position among queued queries; 0
+	// otherwise.
+	QueuePosition int `json:"queue_position,omitempty"`
+	// SubmittedAtMS / StartedAtMS / FinishedAtMS are Unix milliseconds
+	// (real time); zero when the phase has not been reached.
+	SubmittedAtMS int64 `json:"submitted_at_ms"`
+	StartedAtMS   int64 `json:"started_at_ms,omitempty"`
+	FinishedAtMS  int64 `json:"finished_at_ms,omitempty"`
+	// Progress is the latest progress event, when any was taken.
+	Progress *ProgressEvent `json:"progress,omitempty"`
+	// Error is the failure (or cancellation) message on terminal states.
+	Error string `json:"error,omitempty"`
+	// VirtualSeconds and RowCount summarize a done query's result.
+	VirtualSeconds float64 `json:"virtual_seconds,omitempty"`
+	RowCount       int     `json:"row_count,omitempty"`
+}
+
+// ResultResponse is GET /queries/{id}/result: the completed query's
+// rows. Rows is null when the query was submitted without keep_rows.
+// JSON decoding turns integer values into float64, per encoding/json.
+type ResultResponse struct {
+	ID             string          `json:"id"`
+	Columns        []string        `json:"columns"`
+	Rows           [][]interface{} `json:"rows"`
+	RowCount       int             `json:"row_count"`
+	VirtualSeconds float64         `json:"virtual_seconds"`
+	// Refreshes is how many progress reports the indicator took.
+	Refreshes int `json:"refreshes"`
+}
+
+// HealthResponse is GET /healthz.
+type HealthResponse struct {
+	Status  string `json:"status"`
+	Queued  int    `json:"queued"`
+	Running int    `json:"running"`
+	Workers int    `json:"workers"`
+}

@@ -7,14 +7,17 @@
 //	progress [-scale 0.02] -sql "select ..." # run arbitrary SPJ SQL
 //	progress -q 2 -explain                   # show the plan and segments
 //	progress -q 2 -io-at 190 -io-for 695     # start a 4x I/O load at t=190
+//	progress -q 2 -json                      # one JSON line per refresh (progressd's SSE schema)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"progressdb"
+	"progressdb/client"
 )
 
 func main() {
@@ -29,11 +32,17 @@ func main() {
 	cpuFor := flag.Float64("cpu-for", 600, "CPU interference duration")
 	update := flag.Float64("update", 10, "progress refresh period in virtual seconds")
 	metrics := flag.Bool("metrics", false, "print the engine metrics snapshot after the run")
+	jsonOut := flag.Bool("json", false, "emit each refresh as one JSON line on stdout (the progressd SSE schema); status goes to stderr")
 	flag.Parse()
 
 	die := func(err error) {
 		fmt.Fprintln(os.Stderr, "progress:", err)
 		os.Exit(1)
+	}
+	// In -json mode stdout carries only machine-readable lines.
+	status := os.Stdout
+	if *jsonOut {
+		status = os.Stderr
 	}
 
 	db := progressdb.Open(progressdb.Config{
@@ -52,11 +61,11 @@ func main() {
 			die(err)
 		}
 	}
-	fmt.Printf("loading paper workload at scale %g ...\n", *scale)
+	fmt.Fprintf(status, "loading paper workload at scale %g ...\n", *scale)
 	if err := db.LoadPaperWorkload(*scale, *q == 3 && *sqlFlag == ""); err != nil {
 		die(err)
 	}
-	fmt.Printf("SQL: %s\n\n", sql)
+	fmt.Fprintf(status, "SQL: %s\n\n", sql)
 
 	if *explain {
 		ex, err := db.Explain(sql)
@@ -84,18 +93,32 @@ func main() {
 	if *sqlFlag != "" {
 		name = "Query"
 	}
-	res, err := db.ExecDiscard(sql, func(r progressdb.Report) {
+	enc := json.NewEncoder(os.Stdout)
+	seq := 0
+	onProgress := func(r progressdb.Report) {
+		if *jsonOut {
+			seq++
+			ev := client.EventFromReport("", r)
+			ev.Seq = seq
+			if err := enc.Encode(ev); err != nil {
+				die(err)
+			}
+			return
+		}
 		fmt.Println("----------------------------------------")
 		fmt.Print(progressdb.FormatReport(name, r))
-	})
+	}
+	res, err := db.ExecDiscard(sql, onProgress)
 	if err != nil {
 		die(err)
 	}
-	fmt.Println("========================================")
-	fmt.Printf("done: %d progress refreshes over %.1f virtual seconds\n",
+	if !*jsonOut {
+		fmt.Println("========================================")
+	}
+	fmt.Fprintf(status, "done: %d progress refreshes over %.1f virtual seconds\n",
 		len(res.History), res.VirtualSeconds)
 	if *metrics {
-		fmt.Println()
-		fmt.Print(db.MetricsText())
+		fmt.Fprintln(status)
+		fmt.Fprint(status, db.MetricsText())
 	}
 }

@@ -1,0 +1,190 @@
+// Command progressd serves the progressdb engine over HTTP: submit
+// queries asynchronously, stream their live progress indicators as
+// Server-Sent Events, fetch results, cancel, and scrape /metrics — the
+// paper's Figure 2 interface turned into a network service.
+//
+// Usage:
+//
+//	progressd [-addr 127.0.0.1:8080] [-scale 0.02] [-workers 1] [-queue 8]
+//	progressd -smoke        # self-test: submit, stream, cancel, exit
+//
+// Then, e.g.:
+//
+//	curl -s -X POST localhost:8080/queries -d '{"sql":"select ...","pace_ms":100}'
+//	curl -N localhost:8080/queries/q1/progress
+//	curl -s -X DELETE localhost:8080/queries/q1
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"progressdb"
+	"progressdb/client"
+	"progressdb/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	scale := flag.Float64("scale", 0.02, "paper workload scale loaded at startup")
+	workers := flag.Int("workers", 1, "admission workers")
+	queue := flag.Int("queue", 8, "admission queue depth (full queue → 429)")
+	workMem := flag.Int("workmem", 16, "work_mem in 8KiB pages")
+	update := flag.Float64("update", 10, "progress refresh period in virtual seconds")
+	metrics := flag.Bool("metrics", true, "enable the engine metrics registry")
+	smoke := flag.Bool("smoke", false, "run the self-test (submit, stream, cancel, clean shutdown) and exit")
+	flag.Parse()
+
+	if *smoke {
+		if err := runSmoke(); err != nil {
+			fmt.Fprintln(os.Stderr, "progressd smoke: FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Println("progressd smoke: ok")
+		return
+	}
+
+	db := progressdb.Open(progressdb.Config{
+		WorkMemPages:          *workMem,
+		ProgressUpdateSeconds: *update,
+		// Calibrate virtual time to full-scale durations (see DESIGN.md).
+		SeqPageCost:  0.8e-3 / *scale,
+		RandPageCost: 6.4e-3 / *scale,
+		Metrics:      *metrics,
+	})
+	fmt.Printf("progressd: loading paper workload at scale %g ...\n", *scale)
+	if err := db.LoadPaperWorkload(*scale, false); err != nil {
+		fmt.Fprintln(os.Stderr, "progressd:", err)
+		os.Exit(1)
+	}
+
+	srv := server.New(db, server.Config{Workers: *workers, QueueDepth: *queue})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "progressd:", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	fmt.Printf("progressd: listening on http://%s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Printf("\nprogressd: %s, shutting down\n", sig)
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "progressd:", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	hs.Shutdown(ctx)
+	srv.Close()
+}
+
+// runSmoke is the CI self-test: bring the full daemon stack up on an
+// ephemeral port with a tiny synthetic table, submit a paced query
+// through the Go client, stream at least one SSE progress event, cancel
+// it, verify the canceled transition and the metrics counters, and shut
+// down cleanly.
+func runSmoke() error {
+	db := progressdb.Open(progressdb.Config{
+		ProgressUpdateSeconds: 0.25,
+		SpeedWindowSeconds:    1,
+		SeqPageCost:           0.05, // stretch virtual time → many refreshes
+		BufferPoolPages:       64,   // keep the scan I/O-bound
+		Metrics:               true,
+	})
+	db.MustCreateTable("t", progressdb.Col("k", progressdb.Int), progressdb.Col("pad", progressdb.Text))
+	pad := strings.Repeat("x", 100)
+	for i := 0; i < 20000; i++ {
+		db.MustInsert("t", int64(i), pad)
+	}
+	if err := db.Analyze(); err != nil {
+		return err
+	}
+	if err := db.ColdRestart(); err != nil {
+		return err
+	}
+
+	srv := server.New(db, server.Config{Workers: 1, QueueDepth: 4})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	cl := client.New("http://" + ln.Addr().String())
+
+	sub, err := cl.Submit(ctx, client.SubmitRequest{
+		SQL: "select * from t", Name: "smoke", PaceMS: 20,
+	})
+	if err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	fmt.Printf("progressd smoke: submitted %s (%s)\n", sub.ID, sub.State)
+
+	events := 0
+	var last client.ProgressEvent
+	err = cl.Stream(ctx, sub.ID, func(ev client.ProgressEvent) error {
+		last = ev
+		if !ev.Terminal() {
+			events++
+			if events == 1 {
+				fmt.Printf("progressd smoke: first event %.1f%% done, %.0fs left\n",
+					ev.Percent, ev.RemainingSeconds)
+				if _, err := cl.Cancel(ctx, sub.ID); err != nil {
+					return fmt.Errorf("cancel: %w", err)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("stream: %w", err)
+	}
+	if events < 1 {
+		return fmt.Errorf("no progress events before terminal")
+	}
+	if last.State != client.StateCanceled {
+		return fmt.Errorf("terminal state = %s, want canceled", last.State)
+	}
+	info, err := cl.Get(ctx, sub.ID)
+	if err != nil {
+		return err
+	}
+	if info.State != client.StateCanceled {
+		return fmt.Errorf("snapshot state = %s, want canceled", info.State)
+	}
+	text, err := cl.MetricsText(ctx)
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{"server_queries_admitted_total 1", "server_queries_canceled_total 1"} {
+		if !strings.Contains(text, want) {
+			return fmt.Errorf("/metrics missing %q", want)
+		}
+	}
+	shCtx, shCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shCancel()
+	if err := hs.Shutdown(shCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	srv.Close()
+	return nil
+}

@@ -1,0 +1,120 @@
+// Server: bring up progressd in-process, then act as a remote user of
+// the paper's Figure 2 interface over the network — submit the paper's
+// Q2 and watch its progress bar stream over SSE, submit a second
+// long-running query and kill it mid-flight once the indicator says it
+// isn't worth the wait (the paper's Section 6 load-management use), and
+// finish with the server's admission/cancellation metrics.
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"progressdb"
+	"progressdb/client"
+	"progressdb/internal/server"
+)
+
+func main() {
+	const scale = 0.01
+	db := progressdb.Open(progressdb.Config{
+		WorkMemPages:          16,
+		BufferPoolPages:       128, // small pool: repeated scans stay I/O-bound
+		ProgressUpdateSeconds: 10,
+		// Calibrate virtual time to full-scale durations (see DESIGN.md).
+		SeqPageCost:  0.8e-3 / scale,
+		RandPageCost: 6.4e-3 / scale,
+		Metrics:      true,
+	})
+	fmt.Printf("loading the paper's Table 1 workload (scale %g) ...\n", scale)
+	if err := db.LoadPaperWorkload(scale, false); err != nil {
+		panic(err)
+	}
+	if err := db.ColdRestart(); err != nil {
+		panic(err)
+	}
+
+	srv := server.New(db, server.Config{Workers: 1, QueueDepth: 4})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("progressd listening on %s\n\n", base)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	cl := client.New(base)
+
+	// 1. Submit Q2 and stream its progress bar.
+	q2, err := progressdb.PaperQuery(2)
+	if err != nil {
+		panic(err)
+	}
+	sub, err := cl.Submit(ctx, client.SubmitRequest{SQL: q2, Name: "Q2", PaceMS: 60})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("submitted %s as %s; streaming %s/queries/%s/progress\n", sub.ID, sub.State, base, sub.ID)
+	err = cl.Stream(ctx, sub.ID, func(ev client.ProgressEvent) error {
+		if ev.Terminal() {
+			fmt.Printf("  -> %s after %.0f virtual seconds\n\n", ev.State, ev.ElapsedSeconds)
+			return nil
+		}
+		bar := strings.Repeat("#", int(ev.Percent/5))
+		fmt.Printf("  [%-20s] %5.1f%%  %4.0fs left  %6.1f U/s  cost %.0f U\n",
+			bar, ev.Percent, ev.RemainingSeconds, ev.SpeedU, ev.EstTotalU)
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// 2. Submit a long scan, watch two refreshes, then cancel it — the
+	// DBA killing a query the indicator says will take too long.
+	sub2, err := cl.Submit(ctx, client.SubmitRequest{
+		SQL: "select * from lineitem", Name: "big-scan", PaceMS: 60,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("submitted %s (big-scan); canceling after two refreshes\n", sub2.ID)
+	seen := 0
+	err = cl.Stream(ctx, sub2.ID, func(ev client.ProgressEvent) error {
+		if ev.Terminal() {
+			fmt.Printf("  -> %s (%s)\n\n", ev.State, ev.Error)
+			return nil
+		}
+		seen++
+		fmt.Printf("  %5.1f%% done, %.0fs left\n", ev.Percent, ev.RemainingSeconds)
+		if seen == 2 {
+			if _, err := cl.Cancel(ctx, sub2.ID); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// 3. Server-level metrics.
+	text, err := cl.MetricsText(ctx)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("server metrics:")
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "server_") {
+			fmt.Println(" ", line)
+		}
+	}
+}

@@ -1,7 +1,9 @@
 package progressdb
 
 import (
+	"context"
 	"fmt"
+	"strings"
 
 	"progressdb/internal/core"
 	"progressdb/internal/exec"
@@ -26,6 +28,43 @@ type GroupQuery struct {
 	// may fire from any of the group's workers; do not assume goroutine
 	// affinity.
 	OnProgress func(Report)
+	// Ctx, when non-nil, cancels this member at the executor's safe
+	// points without disturbing the rest of the group: the member
+	// unwinds, reports a canceled error in GroupError.Errs, and the
+	// scheduler keeps interleaving the survivors.
+	Ctx context.Context
+}
+
+// GroupError aggregates per-member failures of ExecGroup. Healthy
+// members still complete and return results; each failed member's slot
+// carries its own error (nil for members that succeeded).
+type GroupError struct {
+	// Errs has one entry per input query, aligned with the queries and
+	// results slices; nil entries succeeded.
+	Errs []error
+}
+
+// Error lists the failing members.
+func (e *GroupError) Error() string {
+	var parts []string
+	for _, err := range e.Errs {
+		if err != nil {
+			parts = append(parts, err.Error())
+		}
+	}
+	return "progressdb: group: " + strings.Join(parts, "; ")
+}
+
+// Unwrap returns the non-nil member errors so errors.Is/As traverse
+// them (Go 1.20 multi-error unwrapping).
+func (e *GroupError) Unwrap() []error {
+	var errs []error
+	for _, err := range e.Errs {
+		if err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errs
 }
 
 // sliceTuples is how many tuples one query processes before yielding to
@@ -49,8 +88,12 @@ type groupWorker struct {
 // paper's Section 6 load-management setting: a pool of running queries,
 // each with its own indicator.
 //
-// Results are returned in input order. The first query error aborts the
-// group.
+// Results are returned in input order. A member's failure (or
+// cancellation through GroupQuery.Ctx) does not abort the group:
+// healthy members run to completion and return results, and the error
+// is a *GroupError whose Errs slice aligns with the input — the
+// multi-tenant server semantics, where one tenant's bad query must not
+// take down its neighbors. Failed members' result slots are nil.
 func (db *DB) ExecGroup(queries []GroupQuery) ([]*Result, error) {
 	if len(queries) == 0 {
 		return nil, nil
@@ -137,11 +180,19 @@ func (db *DB) ExecGroup(queries []GroupQuery) ([]*Result, error) {
 		<-done
 	}
 	results := make([]*Result, len(workers))
+	var ge *GroupError
 	for i, w := range workers {
 		if w.err != nil {
-			return nil, fmt.Errorf("progressdb: group query %q: %w", w.q.Name, w.err)
+			if ge == nil {
+				ge = &GroupError{Errs: make([]error, len(workers))}
+			}
+			ge.Errs[i] = fmt.Errorf("progressdb: group query %q: %w", w.q.Name, w.err)
+			continue
 		}
 		results[i] = w.result
+	}
+	if ge != nil {
+		return results, ge
 	}
 	return results, nil
 }
@@ -178,6 +229,9 @@ func (db *DB) execOne(q GroupQuery, yield func()) (*Result, error) {
 		Decomp:       d,
 		Met:          db.execMet,
 		Yield:        yield,
+	}
+	if q.Ctx != nil && q.Ctx.Done() != nil {
+		env.Ctx = q.Ctx
 	}
 	start := db.clock.Now()
 	var sink func(tuple.Tuple) error

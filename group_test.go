@@ -1,6 +1,7 @@
 package progressdb
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -151,14 +152,30 @@ func meanF(xs []float64) float64 {
 	return s / float64(len(xs))
 }
 
-func TestExecGroupErrorAborts(t *testing.T) {
+// One member's failure must not take down its neighbors: the healthy
+// query completes with a result, and the error is a *GroupError aligned
+// with the inputs.
+func TestExecGroupPartialFailure(t *testing.T) {
 	db := groupDB(t)
-	_, err := db.ExecGroup([]GroupQuery{
-		{Name: "ok", SQL: "select * from small"},
+	results, err := db.ExecGroup([]GroupQuery{
+		{Name: "ok", SQL: "select * from small", KeepRows: true},
 		{Name: "bad", SQL: "select * from nosuchtable"},
 	})
 	if err == nil || !strings.Contains(err.Error(), "bad") {
 		t.Fatalf("err = %v", err)
+	}
+	var ge *GroupError
+	if !errors.As(err, &ge) {
+		t.Fatalf("err = %T, want *GroupError", err)
+	}
+	if len(ge.Errs) != 2 || ge.Errs[0] != nil || ge.Errs[1] == nil {
+		t.Fatalf("Errs = %v", ge.Errs)
+	}
+	if results[0] == nil || results[0].RowCount() != 5000 {
+		t.Fatalf("healthy member should still complete: %+v", results[0])
+	}
+	if results[1] != nil {
+		t.Fatal("failed member must have a nil result slot")
 	}
 }
 

@@ -8,6 +8,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"progressdb/internal/expr"
@@ -40,17 +41,65 @@ type Env struct {
 	// a scheduler can interleave concurrently executing queries on the
 	// shared virtual clock.
 	Yield func()
+	// Ctx, when non-nil, is polled for cancellation at the executor's
+	// yield safe points (and at the root tuple loop). When it is
+	// canceled, execution unwinds promptly mid-pipeline with a
+	// *CanceledError; operators release their resources through the
+	// normal error path. Leave nil (or pass a context whose Done channel
+	// is nil) to run without cancellation checks.
+	Ctx context.Context
 	// Met are the engine-wide executor instruments; the zero value is
 	// disabled (all increments are nil-safe no-ops).
 	Met Metrics
 	// Collect accumulates per-operator actuals for EXPLAIN ANALYZE and
 	// tracing; nil disables collection.
 	Collect *Collector
+
+	// nyield counts safe-point passes so the (comparatively expensive)
+	// context poll is amortized over cancelEvery tuples.
+	nyield uint
 }
 
-func (e *Env) yield() {
+// cancelEvery is how many safe-point passes elapse between context
+// polls. Cancellation latency is therefore bounded by cancelEvery
+// tuples of work — microseconds of real time — while the per-tuple hot
+// path pays only a counter increment and a branch.
+const cancelEvery = 64
+
+// CanceledError reports that execution stopped at a safe point because
+// Env.Ctx was canceled. It unwraps to the context's cause, so
+// errors.Is(err, context.Canceled) (or DeadlineExceeded) holds.
+type CanceledError struct{ Cause error }
+
+func (e *CanceledError) Error() string {
+	return "exec: query canceled: " + e.Cause.Error()
+}
+
+func (e *CanceledError) Unwrap() error { return e.Cause }
+
+// yield runs the scheduler yield hook (if any) and polls for
+// cancellation. Operators must propagate a non-nil return.
+func (e *Env) yield() error {
 	if e.Yield != nil {
 		e.Yield()
+	}
+	return e.checkCancel()
+}
+
+// checkCancel polls Env.Ctx every cancelEvery calls.
+func (e *Env) checkCancel() error {
+	if e.Ctx == nil {
+		return nil
+	}
+	e.nyield++
+	if e.nyield%cancelEvery != 0 {
+		return nil
+	}
+	select {
+	case <-e.Ctx.Done():
+		return &CanceledError{Cause: context.Cause(e.Ctx)}
+	default:
+		return nil
 	}
 }
 
@@ -323,6 +372,13 @@ func Run(env *Env, root plan.Node, fn func(tuple.Tuple) error) (int64, error) {
 		}
 		count++
 		env.Clock.ChargeCPU(cpuTuple)
+		// Root-level cancellation check: covers pipelines whose inner
+		// operators stream without reaching a scan-side safe point (e.g.
+		// a sort's output phase feeding a merge join).
+		if err := env.checkCancel(); err != nil {
+			it.Close()
+			return count, err
+		}
 		if fn != nil {
 			if err := fn(t); err != nil {
 				it.Close()

@@ -172,7 +172,9 @@ func (g *graceJoin) Next() (tuple.Tuple, bool, error) {
 					return nil, false, err
 				}
 				g.env.Clock.ChargeCPU(cpuHashOp)
-				g.env.yield()
+				if err := g.env.yield(); err != nil {
+					return nil, false, err
+				}
 				rep.InputTuple(g.probePart.tag.Seg, g.probePart.tag.Input, len(rec))
 				g.curProbe = t
 				g.matches = g.table[t[g.node.ProbeKey]]

@@ -85,7 +85,9 @@ func (j *nlJoin) Next() (tuple.Tuple, bool, error) {
 
 		out := j.curOuter.Concat(innerTuple)
 		j.env.Clock.ChargeCPU(cpuPairBase + j.predCost)
-		j.env.yield()
+		if err := j.env.yield(); err != nil {
+			return nil, false, err
+		}
 		if j.node.Pred != nil {
 			pass, err := expr.EvalBool(j.node.Pred, out)
 			if err != nil {

@@ -43,7 +43,9 @@ func (s *seqScan) Next() (tuple.Tuple, bool, error) {
 	}
 	s.env.Clock.ChargeCPU(cpuTuple)
 	s.env.rep().InputTuple(s.tag.Seg, s.tag.Input, len(rec))
-	s.env.yield()
+	if err := s.env.yield(); err != nil {
+		return nil, false, err
+	}
 	return row, true, nil
 }
 
@@ -105,7 +107,9 @@ func (s *indexScan) Next() (tuple.Tuple, bool, error) {
 		}
 		s.env.Clock.ChargeCPU(cpuTuple + 1)
 		s.env.rep().InputTuple(s.tag.Seg, s.tag.Input, len(rec))
-		s.env.yield()
+		if err := s.env.yield(); err != nil {
+			return nil, false, err
+		}
 		return row, true, nil
 	}
 }

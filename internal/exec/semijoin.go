@@ -80,7 +80,9 @@ func (j *semiJoin) Next() (tuple.Tuple, bool, error) {
 			return nil, false, err
 		}
 		j.env.Clock.ChargeCPU(cpuHashOp)
-		j.env.yield()
+		if err := j.env.yield(); err != nil {
+			return nil, false, err
+		}
 		matched, err := j.matches(t)
 		if err != nil {
 			return nil, false, err

@@ -1,0 +1,295 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"progressdb"
+	"progressdb/client"
+)
+
+// job is one submitted query's lifecycle record: its state machine
+// (queued → running → done/failed/canceled), its progress-event history,
+// and its fan-out subscriber set.
+//
+// Locking: j.mu guards every mutable field. publish and finish assign
+// event sequence numbers and append to history under the lock, then
+// push to each subscriber's private buffer — so a subscriber that
+// replays history at subscribe time and then drains its buffer sees
+// every event exactly once, in order, with exactly one terminal event.
+type job struct {
+	id       string
+	name     string
+	sql      string
+	keepRows bool
+	pace     time.Duration
+
+	// ctx is canceled by DELETE /queries/{id} or server shutdown; the
+	// executor observes it at its safe points.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	state     client.State
+	err       error
+	res       *progressdb.Result
+	seq       int
+	history   []client.ProgressEvent
+	subs      map[int]*subscriber
+	nextSub   int
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+func newJob(id, name, sql string, keepRows bool, pace time.Duration) *job {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &job{
+		id: id, name: name, sql: sql, keepRows: keepRows, pace: pace,
+		ctx: ctx, cancel: cancel,
+		state: client.StateQueued, subs: make(map[int]*subscriber),
+		submitted: time.Now(),
+	}
+}
+
+// publish appends one progress event (assigning its sequence number)
+// and fans it out. Events published after the terminal event are
+// dropped — the terminal event is always last.
+func (j *job) publish(ev client.ProgressEvent) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	j.publishLocked(ev)
+}
+
+func (j *job) publishLocked(ev client.ProgressEvent) {
+	j.seq++
+	ev.Seq = j.seq
+	ev.QueryID = j.id
+	j.history = append(j.history, ev)
+	for _, sub := range j.subs {
+		sub.push(ev)
+	}
+}
+
+// setRunning transitions queued → running; returns false if the job is
+// already terminal (lost a race with cancellation).
+func (j *job) setRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != client.StateQueued {
+		return false
+	}
+	j.state = client.StateRunning
+	j.started = time.Now()
+	return true
+}
+
+// finish moves the job to a terminal state exactly once, records the
+// outcome, and publishes the terminal event. Returns true only for the
+// call that performed the transition (callers bump metrics on true).
+func (j *job) finish(state client.State, err error, res *progressdb.Result) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return false
+	}
+	j.state = state
+	j.err = err
+	j.res = res
+	j.finished = time.Now()
+
+	// Terminal event: carry the last refresh's figures forward so late
+	// subscribers still see how far the query got.
+	var ev client.ProgressEvent
+	if n := len(j.history); n > 0 {
+		ev = j.history[n-1]
+		ev.Segment = nil
+	}
+	ev.State = state
+	if state == client.StateDone {
+		ev.Percent = 100
+		ev.RemainingSeconds = 0
+		ev.Finished = true
+		if res != nil {
+			ev.ElapsedSeconds = res.VirtualSeconds
+		}
+	}
+	if err != nil {
+		ev.Error = err.Error()
+	}
+	j.publishLocked(ev)
+	return true
+}
+
+// subscribe registers a new subscriber and atomically returns the event
+// history so far; the subscriber's buffer receives everything published
+// afterwards. If the job is already terminal the replay ends with the
+// terminal event and the buffer stays silent.
+func (j *job) subscribe() (replay []client.ProgressEvent, sub *subscriber, id int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	replay = append([]client.ProgressEvent(nil), j.history...)
+	sub = &subscriber{wake: make(chan struct{}, 1)}
+	id = j.nextSub
+	j.nextSub++
+	j.subs[id] = sub
+	return replay, sub, id
+}
+
+func (j *job) unsubscribe(id int) {
+	j.mu.Lock()
+	delete(j.subs, id)
+	j.mu.Unlock()
+}
+
+// info snapshots the job for the REST surface. queuePos is computed by
+// the registry (0 when not queued).
+func (j *job) info(queuePos int) client.QueryInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	qi := client.QueryInfo{
+		ID:            j.id,
+		Name:          j.name,
+		SQL:           j.sql,
+		State:         j.state,
+		SubmittedAtMS: j.submitted.UnixMilli(),
+	}
+	if j.state == client.StateQueued {
+		qi.QueuePosition = queuePos
+	}
+	if !j.started.IsZero() {
+		qi.StartedAtMS = j.started.UnixMilli()
+	}
+	if !j.finished.IsZero() {
+		qi.FinishedAtMS = j.finished.UnixMilli()
+	}
+	if n := len(j.history); n > 0 {
+		ev := j.history[n-1]
+		qi.Progress = &ev
+	}
+	if j.err != nil {
+		qi.Error = j.err.Error()
+	}
+	if j.res != nil {
+		qi.VirtualSeconds = j.res.VirtualSeconds
+		qi.RowCount = j.res.RowCount()
+	}
+	return qi
+}
+
+// state returns the current lifecycle state.
+func (j *job) currentState() client.State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// result returns the completed result (nil unless done).
+func (j *job) result() (*progressdb.Result, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != client.StateDone {
+		return nil, false
+	}
+	return j.res, true
+}
+
+// subscriber is one SSE connection's private event queue: an unbounded
+// buffer plus a wake signal. Unbounded is safe because a query's event
+// count is bounded by its refresh count, and each event is small; it is
+// what guarantees a slow reader never forces the publisher to drop a
+// terminal event.
+type subscriber struct {
+	mu   sync.Mutex
+	buf  []client.ProgressEvent
+	wake chan struct{}
+}
+
+func (s *subscriber) push(ev client.ProgressEvent) {
+	s.mu.Lock()
+	s.buf = append(s.buf, ev)
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// drain returns and clears the buffered events.
+func (s *subscriber) drain() []client.ProgressEvent {
+	s.mu.Lock()
+	evs := s.buf
+	s.buf = nil
+	s.mu.Unlock()
+	return evs
+}
+
+// wait blocks until events are buffered or ctx ends; ok=false means the
+// context ended.
+func (s *subscriber) wait(ctx context.Context) (evs []client.ProgressEvent, ok bool) {
+	for {
+		if evs := s.drain(); len(evs) > 0 {
+			return evs, true
+		}
+		select {
+		case <-s.wake:
+		case <-ctx.Done():
+			return nil, false
+		}
+	}
+}
+
+// registry indexes jobs by ID and submission order.
+type registry struct {
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []*job
+}
+
+func newRegistry() *registry {
+	return &registry{jobs: make(map[string]*job)}
+}
+
+func (r *registry) add(j *job) {
+	r.mu.Lock()
+	r.jobs[j.id] = j
+	r.order = append(r.order, j)
+	r.mu.Unlock()
+}
+
+func (r *registry) get(id string) (*job, bool) {
+	r.mu.Lock()
+	j, ok := r.jobs[id]
+	r.mu.Unlock()
+	return j, ok
+}
+
+func (r *registry) list() []*job {
+	r.mu.Lock()
+	out := append([]*job(nil), r.order...)
+	r.mu.Unlock()
+	return out
+}
+
+// queuePosition returns j's 1-based position among still-queued jobs in
+// submission order (0 if j is not queued).
+func (r *registry) queuePosition(j *job) int {
+	r.mu.Lock()
+	order := append([]*job(nil), r.order...)
+	r.mu.Unlock()
+	pos := 0
+	for _, other := range order {
+		if other.currentState() != client.StateQueued {
+			continue
+		}
+		pos++
+		if other == j {
+			return pos
+		}
+	}
+	return 0
+}

@@ -1,0 +1,486 @@
+// Package server is progressd's HTTP query service: asynchronous query
+// submission backed by a bounded admission-control worker pool, live
+// progress streaming over Server-Sent Events, cancellation that unwinds
+// the executor at its safe points, and the engine's Prometheus registry
+// mounted at /metrics with server-level instruments alongside.
+//
+// Surface:
+//
+//	POST   /queries               submit {sql, name?, keep_rows?, pace_ms?} → 202 {id, state, queue_position} | 429
+//	GET    /queries               list all queries
+//	GET    /queries/{id}          lifecycle snapshot (state, latest progress, timings)
+//	GET    /queries/{id}/progress SSE stream: every indicator refresh as JSON, replay included
+//	GET    /queries/{id}/result   completed result rows
+//	DELETE /queries/{id}          cancel (queued: immediate; running: at next executor safe point)
+//	GET    /metrics               Prometheus text exposition (engine + server instruments)
+//	GET    /healthz               liveness and queue summary
+//
+// Concurrency model: the engine's virtual clock makes the engine itself
+// single-threaded, so query executions are serialized on an engine
+// semaphore; the worker pool and admission queue bound how much work
+// may be queued or in flight (admission control), and everything else —
+// snapshots, SSE fan-out, cancellation, /metrics — is fully concurrent.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"progressdb"
+	"progressdb/client"
+	"progressdb/internal/obs"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Workers is the number of admission workers (queries that may be
+	// dequeued and held runnable at once). Executions themselves are
+	// serialized on the engine. Default 1.
+	Workers int
+	// QueueDepth bounds the admission queue; a submit that finds it
+	// full is rejected with 429. Default 8.
+	QueueDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8
+	}
+	return c
+}
+
+// metrics are the server-level instruments. They live in the engine's
+// registry when Config.Metrics is on (one unified /metrics page) and in
+// a private registry otherwise.
+type metrics struct {
+	reg    *obs.Registry
+	shared bool
+
+	admitted  *obs.Counter
+	rejected  *obs.Counter
+	canceled  *obs.Counter
+	failed    *obs.Counter
+	completed *obs.Counter
+	events    *obs.Counter
+
+	queueDepth *obs.Gauge
+	running    *obs.Gauge
+	sseSubs    *obs.Gauge
+
+	wall *obs.Histogram
+}
+
+func newMetrics(db *progressdb.DB) metrics {
+	reg := db.Registry()
+	m := metrics{reg: reg, shared: reg != nil}
+	if m.reg == nil {
+		m.reg = obs.NewRegistry()
+	}
+	m.admitted = m.reg.Counter("server_queries_admitted_total", "queries accepted into the admission queue")
+	m.rejected = m.reg.Counter("server_queries_rejected_total", "queries rejected with 429 (queue full)")
+	m.canceled = m.reg.Counter("server_queries_canceled_total", "queries canceled before or during execution")
+	m.failed = m.reg.Counter("server_queries_failed_total", "queries that ended in error")
+	m.completed = m.reg.Counter("server_queries_completed_total", "queries that ran to completion")
+	m.events = m.reg.Counter("server_progress_events_total", "progress events published to subscribers")
+	m.queueDepth = m.reg.Gauge("server_queue_depth", "queries waiting in the admission queue")
+	m.running = m.reg.Gauge("server_queries_running", "queries currently executing")
+	m.sseSubs = m.reg.Gauge("server_sse_subscribers", "open progress streams")
+	m.wall = m.reg.Histogram("server_query_wall_seconds",
+		"real (wall-clock) execution time per query",
+		[]float64{0.001, 0.005, 0.02, 0.1, 0.5, 2, 10, 60})
+	return m
+}
+
+// Server is one progressd instance wrapping a single engine.
+type Server struct {
+	db  *progressdb.DB
+	cfg Config
+	reg *registry
+	met metrics
+
+	queue  chan *job
+	engine chan struct{} // capacity-1 semaphore: the engine is single-threaded
+	quit   chan struct{}
+	wg     sync.WaitGroup
+	once   sync.Once
+
+	mu    sync.Mutex
+	nextQ int
+
+	mux *http.ServeMux
+}
+
+// New creates a server over db and starts its worker pool. The engine
+// must already hold its tables (load and Analyze before serving). Call
+// Close to stop the workers.
+func New(db *progressdb.DB, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		db:     db,
+		cfg:    cfg,
+		reg:    newRegistry(),
+		met:    newMetrics(db),
+		queue:  make(chan *job, cfg.QueueDepth),
+		engine: make(chan struct{}, 1),
+		quit:   make(chan struct{}),
+		mux:    http.NewServeMux(),
+	}
+	s.routes()
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the worker pool: running queries are canceled and unwound
+// at their next safe point, queued queries transition to canceled, and
+// Close returns when every worker has exited.
+func (s *Server) Close() {
+	s.once.Do(func() {
+		close(s.quit)
+		for _, j := range s.reg.list() {
+			j.cancel()
+		}
+		s.wg.Wait()
+		// Finish jobs still sitting in the channel (never dequeued).
+		for {
+			select {
+			case j := <-s.queue:
+				if j.finish(client.StateCanceled, errors.New("server shutting down"), nil) {
+					s.met.canceled.Inc()
+				}
+			default:
+				s.met.queueDepth.Set(float64(len(s.queue)))
+				return
+			}
+		}
+	})
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /queries", s.handleSubmit)
+	s.mux.HandleFunc("GET /queries", s.handleList)
+	s.mux.HandleFunc("GET /queries/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /queries/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /queries/{id}/progress", s.handleProgress)
+	s.mux.HandleFunc("GET /queries/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+}
+
+// ---- worker pool -----------------------------------------------------
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case j := <-s.queue:
+			s.met.queueDepth.Set(float64(len(s.queue)))
+			s.runJob(j)
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// runJob owns one dequeued job: wait for the engine (abandoning the
+// wait if the job is canceled first), execute with progress fan-out,
+// and drive the terminal transition.
+func (s *Server) runJob(j *job) {
+	select {
+	case s.engine <- struct{}{}:
+	case <-j.ctx.Done():
+		if j.finish(client.StateCanceled, errors.New("canceled while queued"), nil) {
+			s.met.canceled.Inc()
+		}
+		return
+	case <-s.quit:
+		if j.finish(client.StateCanceled, errors.New("server shutting down"), nil) {
+			s.met.canceled.Inc()
+		}
+		return
+	}
+	defer func() { <-s.engine }()
+
+	if !j.setRunning() {
+		// Canceled between dequeue and engine acquisition.
+		return
+	}
+	s.met.running.Add(1)
+	defer s.met.running.Add(-1)
+
+	onProgress := func(r progressdb.Report) {
+		j.publish(client.EventFromReport(j.id, r))
+		s.met.events.Inc()
+		if j.pace > 0 {
+			t := time.NewTimer(j.pace)
+			select {
+			case <-t.C:
+			case <-j.ctx.Done():
+				t.Stop()
+			}
+		}
+	}
+
+	start := time.Now()
+	var res *progressdb.Result
+	var err error
+	if j.keepRows {
+		res, err = s.db.ExecContext(j.ctx, j.sql, onProgress)
+	} else {
+		res, err = s.db.ExecDiscardContext(j.ctx, j.sql, onProgress)
+	}
+	s.met.wall.Observe(time.Since(start).Seconds())
+
+	switch {
+	case err == nil:
+		if j.finish(client.StateDone, nil, res) {
+			s.met.completed.Inc()
+		}
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		if j.finish(client.StateCanceled, err, nil) {
+			s.met.canceled.Inc()
+		}
+	default:
+		if j.finish(client.StateFailed, err, nil) {
+			s.met.failed.Inc()
+		}
+	}
+}
+
+// ---- handlers --------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, client.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req client.SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if strings.TrimSpace(req.SQL) == "" {
+		writeErr(w, http.StatusBadRequest, "sql is required")
+		return
+	}
+	if req.PaceMS < 0 || req.PaceMS > 10_000 {
+		writeErr(w, http.StatusBadRequest, "pace_ms must be in [0, 10000]")
+		return
+	}
+	select {
+	case <-s.quit:
+		writeErr(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	default:
+	}
+
+	s.mu.Lock()
+	s.nextQ++
+	id := fmt.Sprintf("q%d", s.nextQ)
+	s.mu.Unlock()
+	name := req.Name
+	if name == "" {
+		name = id
+	}
+	j := newJob(id, name, req.SQL, req.KeepRows, time.Duration(req.PaceMS)*time.Millisecond)
+
+	// Admission control: reject rather than block when the queue is full.
+	select {
+	case s.queue <- j:
+	default:
+		s.met.rejected.Inc()
+		writeJSON(w, http.StatusTooManyRequests, client.ErrorResponse{
+			Error:      "admission queue full, retry later",
+			QueueDepth: cap(s.queue),
+		})
+		return
+	}
+	s.reg.add(j)
+	s.met.admitted.Inc()
+	s.met.queueDepth.Set(float64(len(s.queue)))
+	writeJSON(w, http.StatusAccepted, client.SubmitResponse{
+		ID:            j.id,
+		State:         j.currentState(),
+		QueuePosition: s.reg.queuePosition(j),
+	})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.reg.list()
+	out := make([]client.QueryInfo, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.info(s.reg.queuePosition(j)))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) (*job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.reg.get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no such query %q", id)
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.info(s.reg.queuePosition(j)))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	j.cancel()
+	// A job still waiting in the queue (or for the engine) transitions
+	// immediately; its worker will observe the terminal state and skip
+	// it. A running job transitions when the executor unwinds.
+	j.mu.Lock()
+	queued := j.state == client.StateQueued
+	j.mu.Unlock()
+	if queued {
+		if j.finish(client.StateCanceled, errors.New("canceled while queued"), nil) {
+			s.met.canceled.Inc()
+		}
+	}
+	writeJSON(w, http.StatusOK, j.info(0))
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	res, done := j.result()
+	if !done {
+		writeErr(w, http.StatusNotFound, "query %s has no result (state %s)", j.id, j.currentState())
+		return
+	}
+	writeJSON(w, http.StatusOK, client.ResultResponse{
+		ID:             j.id,
+		Columns:        res.Columns,
+		Rows:           res.Rows,
+		RowCount:       res.RowCount(),
+		VirtualSeconds: res.VirtualSeconds,
+		Refreshes:      len(res.History),
+	})
+}
+
+// handleProgress streams a query's progress events as SSE: a replay of
+// everything already published, then live events until the terminal one.
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	fl, canFlush := w.(http.Flusher)
+	if !canFlush {
+		writeErr(w, http.StatusInternalServerError, "response writer cannot stream")
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	replay, sub, sid := j.subscribe()
+	defer j.unsubscribe(sid)
+	s.met.sseSubs.Add(1)
+	defer s.met.sseSubs.Add(-1)
+
+	write := func(ev client.ProgressEvent) bool {
+		name := "progress"
+		if ev.Terminal() {
+			name = string(ev.State)
+		}
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, data); err != nil {
+			return false
+		}
+		fl.Flush()
+		return !ev.Terminal()
+	}
+
+	for _, ev := range replay {
+		if !write(ev) {
+			return
+		}
+	}
+	for {
+		evs, ok := sub.wait(r.Context())
+		if !ok {
+			return // client went away
+		}
+		for _, ev := range evs {
+			if !write(ev) {
+				return
+			}
+		}
+	}
+}
+
+// handleMetrics serves the Prometheus page. When the engine is idle it
+// is snapshotted in full (virtual-clock gauges synced); while a query
+// holds the engine, the page is rendered from the registry's atomic
+// instruments only — live counters, stale clock gauges — so scraping
+// never blocks on (or races with) execution.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var text string
+	select {
+	case s.engine <- struct{}{}:
+		if s.met.shared {
+			text = s.db.MetricsText()
+		} else {
+			text = s.met.reg.PrometheusText() + s.db.MetricsText()
+		}
+		<-s.engine
+	default:
+		text = s.met.reg.PrometheusText()
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, text)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, client.HealthResponse{
+		Status:  "ok",
+		Queued:  len(s.queue),
+		Running: int(s.met.running.Value()),
+		Workers: s.cfg.Workers,
+	})
+}

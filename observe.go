@@ -1,6 +1,7 @@
 package progressdb
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -47,6 +48,12 @@ func (db *DB) wireMetrics(pool *storage.BufferPool, disk *storage.Disk) {
 
 // MetricsEnabled reports whether the engine-wide registry is active.
 func (db *DB) MetricsEnabled() bool { return db.reg != nil }
+
+// Registry exposes the engine's metrics registry so embedding layers
+// (e.g. internal/server) can register their own instruments alongside
+// the engine's and serve one unified /metrics page. Nil when
+// Config.Metrics is off.
+func (db *DB) Registry() *obs.Registry { return db.reg }
 
 // Metrics returns a point-in-time snapshot of every engine-wide
 // instrument, sorted by series ID. Nil when Config.Metrics is off.
@@ -95,8 +102,9 @@ type runOut struct {
 // run executes an already-planned query with full observability wiring:
 // the indicator gets the refinement instruments and event sink, the
 // executor gets engine metrics and (optionally) a per-operator collector,
-// and the trace is assembled afterwards.
-func (db *DB) run(p plan.Node, name string, onProgress func(Report), keepRows, collect bool) (*runOut, error) {
+// and the trace is assembled afterwards. ctx cancels execution at the
+// executor's safe points.
+func (db *DB) run(ctx context.Context, p plan.Node, name string, onProgress func(Report), keepRows, collect bool) (*runOut, error) {
 	d := segment.Decompose(p, db.cfg.WorkMemPages)
 	ind := core.New(db.clock, d, core.Options{
 		UpdatePeriod:    db.cfg.ProgressUpdateSeconds,
@@ -128,6 +136,9 @@ func (db *DB) run(p plan.Node, name string, onProgress func(Report), keepRows, c
 		Decomp:       d,
 		Met:          db.execMet,
 		Collect:      coll,
+	}
+	if ctx != nil && ctx.Done() != nil {
+		env.Ctx = ctx
 	}
 	start := db.clock.Now()
 	var sink func(tuple.Tuple) error
@@ -228,7 +239,7 @@ func (db *DB) ExplainAnalyze(sql string) (*Result, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
-	out, err := db.run(p, st.Select.String(), nil, true, true)
+	out, err := db.run(context.Background(), p, st.Select.String(), nil, true, true)
 	if err != nil {
 		return nil, "", err
 	}

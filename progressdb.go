@@ -23,6 +23,7 @@
 package progressdb
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -333,6 +334,16 @@ type Report struct {
 	RemainingSeconds float64
 	// CurrentSegment is the executing segment's index (-1 when done).
 	CurrentSegment int
+	// SegmentsDone counts completed pipelined segments.
+	SegmentsDone int
+	// StepPercent is the trivial step-counting baseline (completed
+	// segments over total segments).
+	StepPercent float64
+	// CurrentP is the executing segment's dominant-input fraction p, and
+	// CurrentE1/CurrentE the Section 4.5 blend's inputs E1 and output E
+	// (rows); all zero when no segment is mid-execution. These are the
+	// per-segment estimator internals surfaced on the progressd wire.
+	CurrentP, CurrentE1, CurrentE float64
 	// Finished marks the final report.
 	Finished bool
 }
@@ -346,6 +357,11 @@ func toReport(s core.Snapshot) Report {
 		SpeedU:           s.SpeedU,
 		RemainingSeconds: s.RemainingSeconds,
 		CurrentSegment:   s.CurrentSegment,
+		SegmentsDone:     s.SegmentsDone,
+		StepPercent:      s.StepPercent,
+		CurrentP:         s.CurrentP,
+		CurrentE1:        s.CurrentE1,
+		CurrentE:         s.CurrentE,
 		Finished:         s.Finished,
 	}
 }
@@ -372,22 +388,37 @@ func (r *Result) RowCount() int { return len(r.Rows) }
 // Exec runs a query, invoking onProgress (if non-nil) at every indicator
 // refresh, and returns the full result.
 func (db *DB) Exec(sql string, onProgress func(Report)) (*Result, error) {
-	return db.exec(sql, onProgress, true)
+	return db.exec(context.Background(), sql, onProgress, true)
+}
+
+// ExecContext is Exec with cancellation: when ctx is canceled the
+// executor unwinds at its next safe point (a bounded number of tuples
+// away), the pipeline's operators release their resources through the
+// normal error path, and the returned error satisfies
+// errors.Is(err, context.Canceled) (or DeadlineExceeded). The engine
+// remains usable for subsequent queries.
+func (db *DB) ExecContext(ctx context.Context, sql string, onProgress func(Report)) (*Result, error) {
+	return db.exec(ctx, sql, onProgress, true)
 }
 
 // ExecDiscard runs a query without materializing result rows (useful for
 // large results and benchmarks); Result.Rows is nil but RowsDiscarded is
 // reported via VirtualSeconds/History as usual.
 func (db *DB) ExecDiscard(sql string, onProgress func(Report)) (*Result, error) {
-	return db.exec(sql, onProgress, false)
+	return db.exec(context.Background(), sql, onProgress, false)
 }
 
-func (db *DB) exec(sql string, onProgress func(Report), keepRows bool) (*Result, error) {
+// ExecDiscardContext is ExecDiscard with cancellation (see ExecContext).
+func (db *DB) ExecDiscardContext(ctx context.Context, sql string, onProgress func(Report)) (*Result, error) {
+	return db.exec(ctx, sql, onProgress, false)
+}
+
+func (db *DB) exec(ctx context.Context, sql string, onProgress func(Report), keepRows bool) (*Result, error) {
 	p, err := db.plan(sql)
 	if err != nil {
 		return nil, err
 	}
-	out, err := db.run(p, sql, onProgress, keepRows, db.traceEnabled())
+	out, err := db.run(ctx, p, sql, onProgress, keepRows, db.traceEnabled())
 	if err != nil {
 		return nil, err
 	}
@@ -405,7 +436,7 @@ func (db *DB) ExecAnalyze(sql string) (*Result, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
-	out, err := db.run(p, sql, nil, false, true)
+	out, err := db.run(context.Background(), p, sql, nil, false, true)
 	if err != nil {
 		return nil, "", err
 	}
