@@ -1,6 +1,6 @@
 # Developer entry points; `make check` is what CI runs.
 
-.PHONY: check test build vet fmt bench-obs
+.PHONY: check test build vet fmt bench-obs chaos
 
 check:
 	./ci.sh
@@ -16,6 +16,12 @@ vet:
 
 fmt:
 	gofmt -w .
+
+# Randomized fault-schedule property suite at full depth (DESIGN.md §6):
+# hundreds of deterministic random fault schedules under -race, each
+# asserting error-or-correct results, zero leaks, and sane progress.
+chaos:
+	PROGRESSDB_CHAOS_SCHEDULES=500 go test -race -v -run TestChaosRandomFaultSchedules .
 
 # Compare the observability-disabled and -enabled hot paths (the paper's
 # "< 1% penalty" budget).

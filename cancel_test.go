@@ -96,6 +96,80 @@ func TestExecContextUncanceledCompletes(t *testing.T) {
 	}
 }
 
+// spillDB is cancelDB with a tiny work_mem so sorts and hash joins
+// spill to temp files, plus a second join table.
+func spillDB(t *testing.T) *DB {
+	t.Helper()
+	db := Open(Config{
+		ProgressUpdateSeconds: 0.2,
+		SpeedWindowSeconds:    1,
+		SeqPageCost:           0.01,
+		RandPageCost:          0.08,
+		BufferPoolPages:       64,
+		WorkMemPages:          2,
+	})
+	pad := strings.Repeat("x", 100)
+	for _, tbl := range []string{"big", "big2"} {
+		db.MustCreateTable(tbl, Col("k", Int), Col("pad", Text))
+		for i := 0; i < 12000; i++ {
+			db.MustInsert(tbl, int64(i), pad)
+		}
+	}
+	if err := db.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.ColdRestart(); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// testCancelMidSpill cancels sql mid-execution (while its spilling
+// operators hold temp files on disk), then asserts the unwind released
+// every temp file and buffer page and left the engine reusable.
+func testCancelMidSpill(t *testing.T, sql string) {
+	t.Helper()
+	db := spillDB(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	reports := 0
+	_, err := db.ExecDiscardContext(ctx, sql, func(r Report) {
+		reports++
+		if reports == 2 {
+			cancel() // mid-run: spilled runs/partitions are live on disk
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want errors.Is(context.Canceled)", err)
+	}
+	if err := db.CheckLeaks(); err != nil {
+		t.Fatalf("after cancel: %v", err)
+	}
+
+	// The engine must stay usable, and a full run of the same spilling
+	// query must also clean up after itself.
+	if _, err := db.ExecDiscard(sql, nil); err != nil {
+		t.Fatalf("rerun after cancel: %v", err)
+	}
+	if err := db.CheckLeaks(); err != nil {
+		t.Fatalf("after completed rerun: %v", err)
+	}
+}
+
+func TestCancelMidExternalSort(t *testing.T) {
+	testCancelMidSpill(t, "select * from big order by pad desc, k desc")
+}
+
+func TestCancelMidSpilledHashJoin(t *testing.T) {
+	testCancelMidSpill(t, "select * from big b1, big2 b2 where b1.k = b2.k and b2.k < 4000")
+}
+
+func TestCancelMidSortedJoin(t *testing.T) {
+	// Sort feeding a join: cancel while multiple operators hold spills.
+	testCancelMidSpill(t, "select * from big b1, big2 b2 where b1.k = b2.k order by b1.pad desc, b2.k")
+}
+
 func TestExecGroupMemberCancel(t *testing.T) {
 	db := cancelDB(t)
 	db.MustCreateTable("big2", Col("k", Int), Col("pad", Text))

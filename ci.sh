@@ -33,6 +33,12 @@ echo "== progressd smoke =="
 # shut down cleanly.
 "$bindir"/progressd -smoke
 
+echo "== fault-matrix smoke =="
+# 3 seeds x {read-fault, write-fault, latency} over a spilling join:
+# error-or-correct results, no temp/page leaks, engine reusable.
+# (`make chaos` runs the full randomized schedule suite.)
+go test -run 'TestFaultMatrixSmoke|TestInjectedPanicContained' .
+
 echo "== go test -race =="
 go test -race ./...
 

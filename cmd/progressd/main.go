@@ -29,6 +29,7 @@ import (
 
 	"progressdb"
 	"progressdb/client"
+	"progressdb/internal/faultinject"
 	"progressdb/internal/server"
 )
 
@@ -40,8 +41,15 @@ func main() {
 	workMem := flag.Int("workmem", 16, "work_mem in 8KiB pages")
 	update := flag.Float64("update", 10, "progress refresh period in virtual seconds")
 	metrics := flag.Bool("metrics", true, "enable the engine metrics registry")
+	fault := flag.String("fault", "", "chaos-testing fault spec, e.g. seed=7,readerr=0.01,transient=0.5,target=temp (see DESIGN.md)")
+	queryTimeout := flag.Duration("query-timeout", 0, "per-query wall-clock deadline (0 = none); expired queries fail with a timeout error")
 	smoke := flag.Bool("smoke", false, "run the self-test (submit, stream, cancel, clean shutdown) and exit")
 	flag.Parse()
+
+	if _, err := faultinject.Parse(*fault); err != nil {
+		fmt.Fprintln(os.Stderr, "progressd: -fault:", err)
+		os.Exit(2)
+	}
 
 	if *smoke {
 		if err := runSmoke(); err != nil {
@@ -59,14 +67,18 @@ func main() {
 		SeqPageCost:  0.8e-3 / *scale,
 		RandPageCost: 6.4e-3 / *scale,
 		Metrics:      *metrics,
+		FaultSpec:    *fault,
 	})
+	if *fault != "" {
+		fmt.Printf("progressd: fault injection armed: %s\n", *fault)
+	}
 	fmt.Printf("progressd: loading paper workload at scale %g ...\n", *scale)
 	if err := db.LoadPaperWorkload(*scale, false); err != nil {
 		fmt.Fprintln(os.Stderr, "progressd:", err)
 		os.Exit(1)
 	}
 
-	srv := server.New(db, server.Config{Workers: *workers, QueueDepth: *queue})
+	srv := server.New(db, server.Config{Workers: *workers, QueueDepth: *queue, QueryTimeout: *queryTimeout})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "progressd:", err)

@@ -3,6 +3,7 @@ package progressdb
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 	"strings"
 
 	"progressdb/internal/core"
@@ -197,8 +198,22 @@ func (db *DB) ExecGroup(queries []GroupQuery) ([]*Result, error) {
 	return results, nil
 }
 
-// execOne plans and runs one group member with its own indicator.
-func (db *DB) execOne(q GroupQuery, yield func()) (*Result, error) {
+// execOne plans and runs one group member with its own indicator. Like
+// db.run it is a panic boundary: a crash (e.g. an injected fault) fails
+// only this member — converted to *exec.InternalError — and the
+// member's temp files are reclaimed, so the rest of the group keeps
+// running. Config.QueryTimeoutSeconds applies per member, layered on
+// the member's own Ctx.
+func (db *DB) execOne(q GroupQuery, yield func()) (res *Result, err error) {
+	var env *exec.Env
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, exec.NewInternalError(r, debug.Stack())
+		}
+		if err != nil && env != nil {
+			env.ReclaimTemps()
+		}
+	}()
 	p, err := db.plan(q.SQL)
 	if err != nil {
 		return nil, err
@@ -217,11 +232,11 @@ func (db *DB) execOne(q GroupQuery, yield func()) (*Result, error) {
 	ind.Start()
 	defer ind.Stop()
 
-	res := &Result{}
+	res = &Result{}
 	for _, c := range p.Schema().Cols {
 		res.Columns = append(res.Columns, c.Name)
 	}
-	env := &exec.Env{
+	env = &exec.Env{
 		Pool:         db.cat.Pool(),
 		Clock:        db.clock,
 		WorkMemPages: db.cfg.WorkMemPages,
@@ -230,8 +245,10 @@ func (db *DB) execOne(q GroupQuery, yield func()) (*Result, error) {
 		Met:          db.execMet,
 		Yield:        yield,
 	}
-	if q.Ctx != nil && q.Ctx.Done() != nil {
-		env.Ctx = q.Ctx
+	ctx, cancel := db.queryCtx(q.Ctx)
+	defer cancel()
+	if ctx != nil && ctx.Done() != nil {
+		env.Ctx = ctx
 	}
 	start := db.clock.Now()
 	var sink func(tuple.Tuple) error

@@ -236,9 +236,13 @@ func TestIOInterferenceShapes(t *testing.T) {
 	// Interference begins 30% into the (unloaded) duration, measured
 	// from the query's start on this clock, and lasts past its end.
 	start := te.clock.Now()
-	te.clock.SetProfile(vclock.MustLoadProfile(vclock.Interval{
+	prof, err := vclock.NewLoadProfile(vclock.Interval{
 		Start: start + unloaded*0.3, End: start + unloaded*10, IOFactor: 4,
-	}))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	te.clock.SetProfile(prof)
 	ind, loaded := runWithIndicator(t, te, "select * from lineitem", fastOpts, optimizer.Options{})
 	if loaded < unloaded*1.5 {
 		t.Fatalf("interference should slow the query: %.1f vs %.1f", loaded, unloaded)

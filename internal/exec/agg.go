@@ -18,9 +18,11 @@ type hashAgg struct {
 	child Iterator
 	tag   segment.NodeInfo
 
-	groups []tuple.Tuple
-	idx    int
-	done   bool
+	groups      []tuple.Tuple
+	idx         int
+	done        bool
+	childOpen   bool
+	childClosed bool
 }
 
 // aggAcc accumulates one group.
@@ -36,6 +38,7 @@ func (h *hashAgg) Open() error {
 	if err := h.child.Open(); err != nil {
 		return err
 	}
+	h.childOpen = true
 	accs := make(map[string]*aggAcc)
 	var order []string // deterministic output: first-seen group order
 	naggs := len(h.node.Aggs)
@@ -101,6 +104,7 @@ func (h *hashAgg) Open() error {
 	if err := h.child.Close(); err != nil {
 		return err
 	}
+	h.childClosed = true
 
 	rep := h.env.rep()
 	for _, k := range order {
@@ -145,6 +149,12 @@ func (h *hashAgg) Next() (tuple.Tuple, bool, error) {
 
 func (h *hashAgg) Close() error {
 	h.groups = nil
+	if h.childOpen && !h.childClosed {
+		// Open failed mid-drain: unwind the child so any temp files it
+		// holds (spilled sorts, joins) are released.
+		h.childClosed = true
+		return h.child.Close()
+	}
 	return nil
 }
 

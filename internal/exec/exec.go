@@ -58,6 +58,41 @@ type Env struct {
 	// nyield counts safe-point passes so the (comparatively expensive)
 	// context poll is amortized over cancelEvery tuples.
 	nyield uint
+
+	// temps tracks every temp file created by this query's operators so
+	// ReclaimTemps can guarantee cleanup even when an error or panic
+	// bypasses the iterator Close chain.
+	temps []storage.FileID
+}
+
+// newTempFile allocates a per-query scratch heap file and registers it
+// for end-of-query reclamation. All operators must create their spill
+// files through this helper, never storage.CreateHeapFile directly.
+func (e *Env) newTempFile() *storage.HeapFile {
+	f := storage.CreateTempHeapFile(e.Pool)
+	e.temps = append(e.temps, f.ID())
+	return f
+}
+
+// ReclaimTemps force-drops any tracked temp files still allocated,
+// returning how many were reclaimed. On clean execution (success,
+// error, or cancel through the normal unwind) every operator has
+// already dropped its files and this is a no-op; after a recovered
+// panic it is the guarantee that the query leaked nothing. Safe to call
+// multiple times.
+func (e *Env) ReclaimTemps() int {
+	disk := e.Pool.Disk()
+	n := 0
+	for _, id := range e.temps {
+		if !disk.Exists(id) {
+			continue
+		}
+		if err := e.Pool.RemoveFile(id); err == nil {
+			n++
+		}
+	}
+	e.temps = nil
+	return n
 }
 
 // cancelEvery is how many safe-point passes elapse between context
@@ -76,6 +111,36 @@ func (e *CanceledError) Error() string {
 }
 
 func (e *CanceledError) Unwrap() error { return e.Cause }
+
+// InternalError is a panic recovered at an engine boundary (DB.Exec*,
+// the group scheduler, or a progressd worker): an executor or segment
+// invariant violation that failed one query instead of the process.
+// The engine remains usable; the job transitions to failed.
+type InternalError struct {
+	// PanicValue is the recovered value.
+	PanicValue interface{}
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+// NewInternalError wraps a recovered panic value and its stack.
+func NewInternalError(v interface{}, stack []byte) *InternalError {
+	return &InternalError{PanicValue: v, Stack: stack}
+}
+
+// Error describes the contained panic.
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("exec: internal error (recovered panic): %v", e.PanicValue)
+}
+
+// Unwrap exposes the panic value when it was itself an error, so
+// errors.Is/As keep working through the boundary.
+func (e *InternalError) Unwrap() error {
+	if err, ok := e.PanicValue.(error); ok {
+		return err
+	}
+	return nil
+}
 
 // yield runs the scheduler yield hook (if any) and polls for
 // cancellation. Operators must propagate a non-nil return.
@@ -358,6 +423,10 @@ func Run(env *Env, root plan.Node, fn func(tuple.Tuple) error) (int64, error) {
 		return 0, err
 	}
 	if err := it.Open(); err != nil {
+		// A failed Open can leave partially opened children holding temp
+		// files (e.g. a sort that spilled runs before its parent join
+		// errored); Close is the operators' cleanup path and must run.
+		it.Close()
 		return 0, err
 	}
 	var count int64

@@ -16,11 +16,13 @@ import (
 // run drains the child at once, ending the producer segment. The files
 // are then consumed batch-by-batch by the owning graceJoin.
 type partitionIter struct {
-	node  *plan.Partition
-	env   *Env
-	tag   segment.NodeInfo
-	child Iterator
-	files []*storage.HeapFile
+	node        *plan.Partition
+	env         *Env
+	tag         segment.NodeInfo
+	child       Iterator
+	files       []*storage.HeapFile
+	childOpen   bool
+	childClosed bool
 }
 
 // run partitions the whole input into nbatch files. Partition nodes are
@@ -36,9 +38,10 @@ func (p *partitionIter) run(nbatch int) error {
 	if err := p.child.Open(); err != nil {
 		return err
 	}
+	p.childOpen = true
 	p.files = make([]*storage.HeapFile, nbatch)
 	for i := range p.files {
-		p.files[i] = storage.CreateHeapFile(p.env.Pool)
+		p.files[i] = p.env.newTempFile()
 	}
 	p.env.Met.SpillPartitions.Add(int64(nbatch))
 	rep := p.env.rep()
@@ -66,6 +69,7 @@ func (p *partitionIter) run(nbatch int) error {
 	if err := p.child.Close(); err != nil {
 		return err
 	}
+	p.childClosed = true
 	for _, f := range p.files {
 		if err := f.Sync(); err != nil {
 			return err
@@ -81,6 +85,14 @@ func (p *partitionIter) run(nbatch int) error {
 
 func (p *partitionIter) drop() error {
 	var firstErr error
+	if p.childOpen && !p.childClosed {
+		// run failed mid-drain: unwind the child so its own temp files
+		// (spilled sorts, nested joins) are released.
+		p.childClosed = true
+		if err := p.child.Close(); err != nil {
+			firstErr = err
+		}
+	}
 	for _, f := range p.files {
 		if f == nil {
 			continue

@@ -35,10 +35,11 @@ type hashJoin struct {
 	table      map[tuple.Value][]tuple.Tuple
 	tableBytes float64
 
-	spilled    bool
-	nbatch     int
-	buildFiles []*storage.HeapFile
-	probeFiles []*storage.HeapFile
+	spilled     bool
+	nbatch      int
+	buildFiles  []*storage.HeapFile
+	probeFiles  []*storage.HeapFile
+	buildClosed bool
 
 	// emission state
 	matches  []tuple.Tuple
@@ -102,6 +103,7 @@ func (h *hashJoin) Open() error {
 	if err := h.build.Close(); err != nil {
 		return err
 	}
+	h.buildClosed = true
 	for _, f := range h.buildFiles {
 		if f != nil {
 			if err := f.Sync(); err != nil {
@@ -153,8 +155,8 @@ func (h *hashJoin) startSpill() error {
 	h.buildFiles = make([]*storage.HeapFile, h.nbatch)
 	h.probeFiles = make([]*storage.HeapFile, h.nbatch)
 	for i := 1; i < h.nbatch; i++ {
-		h.buildFiles[i] = storage.CreateHeapFile(h.env.Pool)
-		h.probeFiles[i] = storage.CreateHeapFile(h.env.Pool)
+		h.buildFiles[i] = h.env.newTempFile()
+		h.probeFiles[i] = h.env.newTempFile()
 	}
 	h.env.Met.SpillPartitions.Add(int64(h.nbatch - 1))
 	h.env.Collect.Notef(h.node, "build exceeded work_mem: spilled to %d batches", h.nbatch)
@@ -312,7 +314,15 @@ func (h *hashJoin) loadBatch(b int) error {
 
 func (h *hashJoin) Close() error {
 	var firstErr error
-	if err := h.probe.Close(); err != nil {
+	if !h.buildClosed {
+		// Open failed mid-build: the build child (which may itself hold
+		// spilled temp files, e.g. a sort) still needs its unwind.
+		h.buildClosed = true
+		if err := h.build.Close(); err != nil {
+			firstErr = err
+		}
+	}
+	if err := h.probe.Close(); err != nil && firstErr == nil {
 		firstErr = err
 	}
 	for _, fs := range [][]*storage.HeapFile{h.buildFiles, h.probeFiles} {

@@ -119,15 +119,18 @@ type materialize struct {
 	child Iterator
 	tag   segment.NodeInfo
 
-	buf       []tuple.Tuple
-	idx       int
-	inputDone bool
+	buf         []tuple.Tuple
+	idx         int
+	inputDone   bool
+	childOpen   bool
+	childClosed bool
 }
 
 func (m *materialize) Open() error {
 	if err := m.child.Open(); err != nil {
 		return err
 	}
+	m.childOpen = true
 	rep := m.env.rep()
 	for {
 		t, ok, err := m.child.Next()
@@ -144,6 +147,7 @@ func (m *materialize) Open() error {
 	if err := m.child.Close(); err != nil {
 		return err
 	}
+	m.childClosed = true
 	rep.SegmentDone(m.tag.ProducerSeg)
 	m.idx = 0
 	return nil
@@ -166,5 +170,11 @@ func (m *materialize) Next() (tuple.Tuple, bool, error) {
 
 func (m *materialize) Close() error {
 	m.buf = nil
+	if m.childOpen && !m.childClosed {
+		// Open failed mid-drain: unwind the child so any temp files it
+		// holds are released.
+		m.childClosed = true
+		return m.child.Close()
+	}
 	return nil
 }

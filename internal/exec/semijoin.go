@@ -23,12 +23,17 @@ type semiJoin struct {
 
 	table map[tuple.Value][]tuple.Tuple // keyed path
 	cache []tuple.Tuple                 // keyless (pure NL) path
+
+	innerOpen   bool
+	innerClosed bool
+	outerOpen   bool
 }
 
 func (j *semiJoin) Open() error {
 	if err := j.inner.Open(); err != nil {
 		return err
 	}
+	j.innerOpen = true
 	rep := j.env.rep()
 	keyed := j.node.OuterKey >= 0
 	if keyed {
@@ -67,10 +72,15 @@ func (j *semiJoin) Open() error {
 	if err := j.inner.Close(); err != nil {
 		return err
 	}
+	j.innerClosed = true
 	rep.SegmentDone(j.tag.ProducerSeg)
 	rep.InputBulk(j.tag.Seg, j.tag.Input, tuples, bytes)
 	rep.InputDone(j.tag.Seg, j.tag.Input)
-	return j.outer.Open()
+	if err := j.outer.Open(); err != nil {
+		return err
+	}
+	j.outerOpen = true
+	return nil
 }
 
 func (j *semiJoin) Next() (tuple.Tuple, bool, error) {
@@ -119,5 +129,19 @@ func (j *semiJoin) matches(outer tuple.Tuple) (bool, error) {
 func (j *semiJoin) Close() error {
 	j.table = nil
 	j.cache = nil
-	return j.outer.Close()
+	var firstErr error
+	if j.innerOpen && !j.innerClosed {
+		// Open failed mid-drain: unwind the inner so any temp files it
+		// holds are released.
+		j.innerClosed = true
+		if err := j.inner.Close(); err != nil {
+			firstErr = err
+		}
+	}
+	if j.outerOpen {
+		if err := j.outer.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }

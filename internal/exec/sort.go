@@ -24,10 +24,12 @@ type sortIter struct {
 	mem  []tuple.Tuple // single in-memory run when nothing spilled
 	runs []*storage.HeapFile
 
-	memIdx    int
-	merge     *runMerger
-	arity     int
-	inputDone bool
+	memIdx      int
+	merge       *runMerger
+	arity       int
+	inputDone   bool
+	childOpen   bool
+	childClosed bool
 }
 
 // finishInput marks the sorted stream fully consumed by the parent
@@ -44,6 +46,7 @@ func (s *sortIter) Open() error {
 	if err := s.child.Open(); err != nil {
 		return err
 	}
+	s.childOpen = true
 	rep := s.env.rep()
 	memLimit := s.env.workMemBytes()
 
@@ -56,7 +59,7 @@ func (s *sortIter) Open() error {
 		if err := s.sortTuples(buf); err != nil {
 			return err
 		}
-		f := storage.CreateHeapFile(s.env.Pool)
+		f := s.env.newTempFile()
 		for _, t := range buf {
 			if _, err := f.Append(t.Encode(nil)); err != nil {
 				return err
@@ -93,6 +96,7 @@ func (s *sortIter) Open() error {
 	if err := s.child.Close(); err != nil {
 		return err
 	}
+	s.childClosed = true
 
 	if len(s.runs) == 0 {
 		// Everything fit: keep the single run in memory.
@@ -163,24 +167,27 @@ func (s *sortIter) intermediateMerges() error {
 		if err != nil {
 			return err
 		}
-		out := storage.CreateHeapFile(s.env.Pool)
-		for {
-			t, ok, err := m.next()
-			if err != nil {
-				return err
+		out := s.env.newTempFile()
+		mergeErr := func() error {
+			for {
+				t, ok, err := m.next()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return out.Sync()
+				}
+				sz := t.EncodedSize()
+				s.env.Clock.ChargeCPU(cpuTuple * 2)
+				rep.Extra(s.tag.ProducerSeg, 2*float64(sz))
+				if _, err := out.Append(t.Encode(nil)); err != nil {
+					return err
+				}
 			}
-			if !ok {
-				break
-			}
-			sz := t.EncodedSize()
-			s.env.Clock.ChargeCPU(cpuTuple * 2)
-			rep.Extra(s.tag.ProducerSeg, 2*float64(sz))
-			if _, err := out.Append(t.Encode(nil)); err != nil {
-				return err
-			}
-		}
-		if err := out.Sync(); err != nil {
-			return err
+		}()
+		if mergeErr != nil {
+			out.Drop() // best effort; the original error wins
+			return mergeErr
 		}
 		for _, f := range group {
 			if err := f.Drop(); err != nil {
@@ -227,7 +234,18 @@ func (s *sortIter) Next() (tuple.Tuple, bool, error) {
 
 func (s *sortIter) Close() error {
 	var firstErr error
+	if s.childOpen && !s.childClosed {
+		// Open failed mid-drain: unwind the child too.
+		s.childClosed = true
+		if err := s.child.Close(); err != nil {
+			firstErr = err
+		}
+	}
+	disk := s.env.Pool.Disk()
 	for _, f := range s.runs {
+		if !disk.Exists(f.ID()) {
+			continue // already dropped by a failed intermediate merge
+		}
 		if err := f.Drop(); err != nil && firstErr == nil {
 			firstErr = err
 		}

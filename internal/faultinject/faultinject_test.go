@@ -1,0 +1,149 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+
+	"progressdb/internal/storage"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	spec := "seed=7,readerr=0.01,writeerr=0.02,transient=0.5,latency=0.1:0.005,target=temp,nthwrite=5,panicnth=9,max=3"
+	cfg, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 7 || cfg.ReadErrProb != 0.01 || cfg.WriteErrProb != 0.02 ||
+		cfg.TransientProb != 0.5 || cfg.LatencyProb != 0.1 || cfg.LatencySeconds != 0.005 ||
+		cfg.Target != TargetTemp || cfg.FailNthWrite != 5 || cfg.PanicNth != 9 || cfg.MaxFaults != 3 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	// String must parse back to the same config.
+	cfg2, err := Parse(cfg.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", cfg.String(), err)
+	}
+	if cfg2 != cfg {
+		t.Fatalf("round trip: %+v != %+v", cfg2, cfg)
+	}
+}
+
+func TestParseEmptyAndErrors(t *testing.T) {
+	if cfg, err := Parse("  "); err != nil || cfg != (Config{}) {
+		t.Fatalf("empty spec: cfg=%+v err=%v", cfg, err)
+	}
+	for _, bad := range []string{
+		"readerr",         // not key=value
+		"readerr=2",       // prob out of range
+		"readerr=x",       // not a number
+		"latency=0.5",     // missing seconds
+		"latency=0.5:-1",  // negative seconds
+		"target=spinning", // unknown target
+		"nthwrite=-3",     // negative count
+		"bogus=1",         // unknown key
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) = nil error, want error", bad)
+		}
+	}
+}
+
+func TestDeterministicStream(t *testing.T) {
+	cfg := Config{Seed: 42, ReadErrProb: 0.3, WriteErrProb: 0.3, TransientProb: 0.5, LatencyProb: 0.2, LatencySeconds: 0.001}
+	run := func() []bool {
+		in := New(cfg)
+		var outcomes []bool
+		for i := 0; i < 200; i++ {
+			op := storage.OpRead
+			if i%3 == 0 {
+				op = storage.OpWrite
+			}
+			_, err := in.BeforePageIO(op, storage.ClassTemp)
+			outcomes = append(outcomes, err != nil)
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at access %d", i)
+		}
+	}
+}
+
+func TestFailNthWriteIsPermanentAndTargeted(t *testing.T) {
+	in := New(Config{Seed: 1, FailNthWrite: 3, Target: TargetTemp})
+	// Base-class writes are not targeted and never counted.
+	for i := 0; i < 10; i++ {
+		if _, err := in.BeforePageIO(storage.OpWrite, storage.ClassBase); err != nil {
+			t.Fatalf("base write %d faulted: %v", i, err)
+		}
+	}
+	var got error
+	for i := 1; i <= 5; i++ {
+		_, err := in.BeforePageIO(storage.OpWrite, storage.ClassTemp)
+		if (err != nil) != (i == 3) {
+			t.Fatalf("temp write %d: err=%v", i, err)
+		}
+		if err != nil {
+			got = err
+		}
+	}
+	var f *storage.IOFault
+	if !errors.As(got, &f) {
+		t.Fatalf("fault type = %T", got)
+	}
+	if !f.Permanent || f.Op != storage.OpWrite || f.Class != storage.ClassTemp {
+		t.Fatalf("fault = %+v", f)
+	}
+	if storage.IsTransient(got) {
+		t.Fatal("ordinal fault must not be transient")
+	}
+	st := in.Stats()
+	if st.WriteFaults != 1 || st.ReadFaults != 0 || st.Writes != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMaxFaultsCap(t *testing.T) {
+	in := New(Config{Seed: 9, ReadErrProb: 1, MaxFaults: 2})
+	faults := 0
+	for i := 0; i < 50; i++ {
+		if _, err := in.BeforePageIO(storage.OpRead, storage.ClassBase); err != nil {
+			faults++
+		}
+	}
+	if faults != 2 {
+		t.Fatalf("faults = %d, want 2 (capped)", faults)
+	}
+}
+
+func TestPanicNth(t *testing.T) {
+	in := New(Config{Seed: 1, PanicNth: 2})
+	if _, err := in.BeforePageIO(storage.OpRead, storage.ClassBase); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("no panic on the scheduled access")
+		}
+		if st := in.Stats(); st.Panics != 1 {
+			t.Fatalf("panics = %d", st.Panics)
+		}
+	}()
+	in.BeforePageIO(storage.OpWrite, storage.ClassBase)
+}
+
+func TestLatencyOnly(t *testing.T) {
+	in := New(Config{Seed: 3, LatencyProb: 1, LatencySeconds: 0.25})
+	lat, err := in.BeforePageIO(storage.OpRead, storage.ClassTemp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != 0.25 {
+		t.Fatalf("lat = %g", lat)
+	}
+	if st := in.Stats(); st.LatencyEvents != 1 || st.Faults() != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

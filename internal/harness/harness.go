@@ -222,7 +222,11 @@ func (r Runner) runSQL(sql string, q int, correlated bool, forceAlgo string, int
 		default:
 			return nil, fmt.Errorf("harness: unknown interference kind %q", interf.Kind)
 		}
-		eng.clock.SetProfile(vclock.MustLoadProfile(iv))
+		prof, err := vclock.NewLoadProfile(iv)
+		if err != nil {
+			return nil, fmt.Errorf("harness: building load profile: %w", err)
+		}
+		eng.clock.SetProfile(prof)
 		res.InterfStart = s - start
 		res.InterfEnd = e - start
 	}

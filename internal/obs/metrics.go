@@ -179,7 +179,8 @@ func (r *Registry) lookup(name, lk, lv, help string, kind Kind) *instrument {
 	id := seriesID(name, lk, lv)
 	if in, ok := r.byID[id]; ok {
 		if in.kind != kind {
-			panic("obs: instrument " + id + " re-registered as different kind")
+			panic("obs: instrument " + id + " re-registered as " + string(kind) +
+				", previously registered as " + string(in.kind))
 		}
 		return in
 	}

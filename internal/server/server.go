@@ -28,12 +28,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"time"
 
 	"progressdb"
 	"progressdb/client"
+	"progressdb/internal/exec"
 	"progressdb/internal/obs"
 )
 
@@ -46,6 +48,12 @@ type Config struct {
 	// QueueDepth bounds the admission queue; a submit that finds it
 	// full is rejected with 429. Default 8.
 	QueueDepth int
+	// QueryTimeout, when > 0, bounds each query's execution by a
+	// wall-clock deadline. A query that exceeds it unwinds at the
+	// executor's next safe point and finishes in state "failed" with a
+	// timeout error (user cancellations stay "canceled"); the
+	// server_queries_timedout_total counter tracks occurrences.
+	QueryTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +78,8 @@ type metrics struct {
 	canceled  *obs.Counter
 	failed    *obs.Counter
 	completed *obs.Counter
+	timedout  *obs.Counter
+	panicked  *obs.Counter
 	events    *obs.Counter
 
 	queueDepth *obs.Gauge
@@ -90,6 +100,8 @@ func newMetrics(db *progressdb.DB) metrics {
 	m.canceled = m.reg.Counter("server_queries_canceled_total", "queries canceled before or during execution")
 	m.failed = m.reg.Counter("server_queries_failed_total", "queries that ended in error")
 	m.completed = m.reg.Counter("server_queries_completed_total", "queries that ran to completion")
+	m.timedout = m.reg.Counter("server_queries_timedout_total", "queries that exceeded the per-query deadline")
+	m.panicked = m.reg.Counter("server_queries_panicked_total", "queries that ended in a recovered panic (internal error)")
 	m.events = m.reg.Counter("server_progress_events_total", "progress events published to subscribers")
 	m.queueDepth = m.reg.Gauge("server_queue_depth", "queries waiting in the admission queue")
 	m.running = m.reg.Gauge("server_queries_running", "queries currently executing")
@@ -222,6 +234,14 @@ func (s *Server) runJob(j *job) {
 	s.met.running.Add(1)
 	defer s.met.running.Add(-1)
 
+	// Per-query deadline: layered on the job's cancel context so a user
+	// cancel and a timeout are distinguishable afterwards.
+	runCtx, cancelRun := j.ctx, func() {}
+	if s.cfg.QueryTimeout > 0 {
+		runCtx, cancelRun = context.WithTimeout(j.ctx, s.cfg.QueryTimeout)
+	}
+	defer cancelRun()
+
 	onProgress := func(r progressdb.Report) {
 		j.publish(client.EventFromReport(j.id, r))
 		s.met.events.Inc()
@@ -229,7 +249,7 @@ func (s *Server) runJob(j *job) {
 			t := time.NewTimer(j.pace)
 			select {
 			case <-t.C:
-			case <-j.ctx.Done():
+			case <-runCtx.Done():
 				t.Stop()
 			}
 		}
@@ -238,23 +258,45 @@ func (s *Server) runJob(j *job) {
 	start := time.Now()
 	var res *progressdb.Result
 	var err error
-	if j.keepRows {
-		res, err = s.db.ExecContext(j.ctx, j.sql, onProgress)
-	} else {
-		res, err = s.db.ExecDiscardContext(j.ctx, j.sql, onProgress)
-	}
+	// Worker-level panic boundary: the engine already converts executor
+	// panics into *exec.InternalError, but a panic escaping anywhere in
+	// the submission path must fail only this job, never the server.
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				res, err = nil, exec.NewInternalError(r, debug.Stack())
+			}
+		}()
+		if j.keepRows {
+			res, err = s.db.ExecContext(runCtx, j.sql, onProgress)
+		} else {
+			res, err = s.db.ExecDiscardContext(runCtx, j.sql, onProgress)
+		}
+	}()
 	s.met.wall.Observe(time.Since(start).Seconds())
 
+	var internal *exec.InternalError
 	switch {
 	case err == nil:
 		if j.finish(client.StateDone, nil, res) {
 			s.met.completed.Inc()
 		}
-	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+	case errors.Is(err, context.Canceled):
 		if j.finish(client.StateCanceled, err, nil) {
 			s.met.canceled.Inc()
 		}
+	case errors.Is(err, context.DeadlineExceeded):
+		// A deadline expiry is the server's doing, not the user's: the
+		// job fails (with a timeout-flavored error) rather than reading
+		// as canceled.
+		if j.finish(client.StateFailed, fmt.Errorf("query timeout exceeded: %w", err), nil) {
+			s.met.failed.Inc()
+			s.met.timedout.Inc()
+		}
 	default:
+		if errors.As(err, &internal) {
+			s.met.panicked.Inc()
+		}
 		if j.finish(client.StateFailed, err, nil) {
 			s.met.failed.Inc()
 		}

@@ -3,8 +3,22 @@ package storage
 import (
 	"container/list"
 	"fmt"
+	"sort"
 
 	"progressdb/internal/obs"
+)
+
+// Bounded retry policy for transient physical I/O faults (see
+// Disk.SetFaultInjector). Each retry charges an exponentially growing
+// backoff to the virtual clock — retrying is not free, it just beats
+// failing the query on a blip.
+const (
+	// maxIOAttempts is the total number of tries per physical page
+	// access (1 initial + maxIOAttempts-1 retries).
+	maxIOAttempts = 4
+	// retryBackoffBase is the virtual-seconds backoff before the first
+	// retry; it doubles per attempt.
+	retryBackoffBase = 1e-3
 )
 
 // BufferPool is a page cache with LRU replacement in front of the
@@ -21,6 +35,7 @@ type BufferPool struct {
 
 	hits, misses          int64
 	evictions, writebacks int64
+	retries, giveups      int64
 
 	met PoolMetrics
 }
@@ -37,6 +52,10 @@ type PoolMetrics struct {
 	// DirtyWritebacks counts dirty pages written back to disk on eviction
 	// or flush.
 	DirtyWritebacks *obs.Counter
+	// IORetries counts physical page accesses retried after a transient
+	// fault; IORetryGiveups counts accesses that still failed after the
+	// bounded retry budget.
+	IORetries, IORetryGiveups *obs.Counter
 }
 
 // SetMetrics installs observability instruments; pass the zero value to
@@ -49,11 +68,64 @@ func (bp *BufferPool) SetMetrics(m PoolMetrics) { bp.met = m }
 type PoolStats struct {
 	Hits, Misses          int64
 	Evictions, Writebacks int64
+	// Retries and RetryGiveups count transient-fault retries and
+	// exhausted retry budgets (zero unless fault injection is active).
+	Retries, RetryGiveups int64
 }
 
 // Stats returns the pool's access accounting since the last Clear.
 func (bp *BufferPool) Stats() PoolStats {
-	return PoolStats{Hits: bp.hits, Misses: bp.misses, Evictions: bp.evictions, Writebacks: bp.writebacks}
+	return PoolStats{
+		Hits: bp.hits, Misses: bp.misses,
+		Evictions: bp.evictions, Writebacks: bp.writebacks,
+		Retries: bp.retries, RetryGiveups: bp.giveups,
+	}
+}
+
+// readPage reads through to disk with bounded retry on transient faults.
+func (bp *BufferPool) readPage(pid PageID) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < maxIOAttempts; attempt++ {
+		if attempt > 0 {
+			bp.retries++
+			bp.met.IORetries.Inc()
+			bp.disk.Clock().Idle(retryBackoffBase * float64(int64(1)<<(attempt-1)))
+		}
+		data, err := bp.disk.readPage(pid)
+		if err == nil {
+			return data, nil
+		}
+		if !IsTransient(err) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	bp.giveups++
+	bp.met.IORetryGiveups.Inc()
+	return nil, fmt.Errorf("storage: read of %v failed after %d attempts: %w", pid, maxIOAttempts, lastErr)
+}
+
+// writePage writes to disk with bounded retry on transient faults.
+func (bp *BufferPool) writePage(pid PageID, data []byte) error {
+	var lastErr error
+	for attempt := 0; attempt < maxIOAttempts; attempt++ {
+		if attempt > 0 {
+			bp.retries++
+			bp.met.IORetries.Inc()
+			bp.disk.Clock().Idle(retryBackoffBase * float64(int64(1)<<(attempt-1)))
+		}
+		err := bp.disk.writePage(pid, data)
+		if err == nil {
+			return nil
+		}
+		if !IsTransient(err) {
+			return err
+		}
+		lastErr = err
+	}
+	bp.giveups++
+	bp.met.IORetryGiveups.Inc()
+	return fmt.Errorf("storage: write of %v failed after %d attempts: %w", pid, maxIOAttempts, lastErr)
 }
 
 type frame struct {
@@ -102,7 +174,7 @@ func (bp *BufferPool) Get(pid PageID) ([]byte, error) {
 	}
 	bp.misses++
 	bp.met.Misses.Inc()
-	data, err := bp.disk.readPage(pid)
+	data, err := bp.readPage(pid)
 	if err != nil {
 		return nil, err
 	}
@@ -134,7 +206,7 @@ func (bp *BufferPool) Put(pid PageID, data []byte) error {
 	// I/O is charged), then cache it clean.
 	buf := make([]byte, PageSize)
 	copy(buf, data)
-	if err := bp.disk.writePage(pid, buf); err != nil {
+	if err := bp.writePage(pid, buf); err != nil {
 		return err
 	}
 	return bp.insert(&frame{pid: pid, data: append([]byte(nil), buf...)})
@@ -156,7 +228,7 @@ func (bp *BufferPool) insert(fr *frame) error {
 		if vf.dirty {
 			bp.writebacks++
 			bp.met.DirtyWritebacks.Inc()
-			if err := bp.disk.writePage(vf.pid, vf.data); err != nil {
+			if err := bp.writePage(vf.pid, vf.data); err != nil {
 				return fmt.Errorf("storage: evicting %v: %w", vf.pid, err)
 			}
 		}
@@ -171,7 +243,7 @@ func (bp *BufferPool) Flush() error {
 		if fr.dirty {
 			bp.writebacks++
 			bp.met.DirtyWritebacks.Inc()
-			if err := bp.disk.writePage(fr.pid, fr.data); err != nil {
+			if err := bp.writePage(fr.pid, fr.data); err != nil {
 				return err
 			}
 			fr.dirty = false
@@ -193,6 +265,35 @@ func (bp *BufferPool) DropFile(id FileID) {
 	}
 }
 
+// RemoveFile atomically invalidates the file's cached pages and removes
+// it from disk — the only safe order: dropping the frames first
+// guarantees no later eviction can try to write back an orphaned dirty
+// page of a file that no longer exists.
+func (bp *BufferPool) RemoveFile(id FileID) error {
+	bp.DropFile(id)
+	return bp.disk.Remove(id)
+}
+
+// OrphanedPages returns the PageIDs of cached frames whose file no
+// longer exists on disk — evidence that someone called Disk.Remove
+// without DropFile/RemoveFile. Part of the engine's leak-check API;
+// always empty in a healthy engine.
+func (bp *BufferPool) OrphanedPages() []PageID {
+	var orphans []PageID
+	for el := bp.lru.Front(); el != nil; el = el.Next() {
+		if fr := el.Value.(*frame); !bp.disk.Exists(fr.pid.File) {
+			orphans = append(orphans, fr.pid)
+		}
+	}
+	sort.Slice(orphans, func(i, j int) bool {
+		if orphans[i].File != orphans[j].File {
+			return orphans[i].File < orphans[j].File
+		}
+		return orphans[i].Num < orphans[j].Num
+	})
+	return orphans
+}
+
 // Clear empties the pool without write-back (a simulated restart, for the
 // paper's cold-buffer-pool methodology). Dirty page loss is intentional:
 // callers Flush first if they care.
@@ -201,4 +302,5 @@ func (bp *BufferPool) Clear() {
 	bp.lru = list.New()
 	bp.hits, bp.misses = 0, 0
 	bp.evictions, bp.writebacks = 0, 0
+	bp.retries, bp.giveups = 0, 0
 }

@@ -8,7 +8,9 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 
 	"progressdb/internal/obs"
 	"progressdb/internal/vclock"
@@ -20,6 +22,97 @@ const PageSize = 8192
 
 // FileID identifies a file on the simulated disk.
 type FileID int32
+
+// FileClass distinguishes long-lived files (base relations, indexes,
+// logs) from per-query scratch files (spill partitions, sort runs).
+// Fault injection targets classes independently, and the leak checker's
+// invariant is that no ClassTemp file survives a query — success, error,
+// cancel, or timeout alike.
+type FileClass int
+
+// File classes.
+const (
+	// ClassBase marks durable files: table heaps, indexes, the txn log.
+	ClassBase FileClass = iota
+	// ClassTemp marks per-query scratch files that must be removed on
+	// every exit path.
+	ClassTemp
+)
+
+// String returns "base" or "temp".
+func (c FileClass) String() string {
+	if c == ClassTemp {
+		return "temp"
+	}
+	return "base"
+}
+
+// FaultOp is the access direction presented to a FaultInjector.
+type FaultOp int
+
+// Fault operations.
+const (
+	// OpRead is a physical page read.
+	OpRead FaultOp = iota
+	// OpWrite is a physical page write.
+	OpWrite
+)
+
+// String returns "read" or "write".
+func (o FaultOp) String() string {
+	if o == OpWrite {
+		return "write"
+	}
+	return "read"
+}
+
+// FaultInjector is consulted before every physical page access. It may
+// stretch the access (latency, in virtual seconds, charged to the
+// clock), fail it (the returned error aborts the access before any
+// state changes), or panic (simulating an executor crash that the
+// engine's panic boundary must contain). Implementations live in
+// internal/faultinject; production disks carry a nil injector and pay
+// only a nil check per physical I/O.
+type FaultInjector interface {
+	BeforePageIO(op FaultOp, class FileClass) (latencySeconds float64, err error)
+}
+
+// IOFault is an injected I/O error. Transient faults may succeed when
+// the operation is retried (the buffer pool's bounded retry loop);
+// permanent faults fail every attempt.
+type IOFault struct {
+	// Op and Class identify the faulted access.
+	Op    FaultOp
+	Class FileClass
+	// Seq is the 1-based ordinal of this fault among all injected
+	// faults.
+	Seq int64
+	// Permanent marks faults that retrying cannot clear.
+	Permanent bool
+}
+
+// Error describes the fault.
+func (f *IOFault) Error() string {
+	kind := "transient"
+	if f.Permanent {
+		kind = "permanent"
+	}
+	return fmt.Sprintf("storage: injected %s %s fault #%d (%s file)", kind, f.Op, f.Seq, f.Class)
+}
+
+// Transient reports whether a retry may succeed.
+func (f *IOFault) Transient() bool { return !f.Permanent }
+
+// transienter lets retry loops classify errors without knowing their
+// concrete type.
+type transienter interface{ Transient() bool }
+
+// IsTransient reports whether err (or anything it wraps) is a transient
+// I/O fault worth retrying.
+func IsTransient(err error) bool {
+	var t transienter
+	return errors.As(err, &t) && t.Transient()
+}
 
 // PageID identifies one page of one file.
 type PageID struct {
@@ -53,6 +146,7 @@ func (s DiskStats) Writes() int64 { return s.SeqWrites + s.RandWrites }
 // file is one simulated on-disk file: a growable array of pages.
 type file struct {
 	pages    [][]byte
+	class    FileClass
 	lastRead int32 // last physically read page number, for sequential detection
 	lastWrit int32
 }
@@ -66,6 +160,7 @@ type Disk struct {
 	next  FileID
 	stats DiskStats
 	met   DiskMetrics
+	inj   FaultInjector
 }
 
 // DiskMetrics are the disk's engine-wide instruments (physical page I/O
@@ -80,6 +175,24 @@ type DiskMetrics struct {
 // disable.
 func (d *Disk) SetMetrics(m DiskMetrics) { d.met = m }
 
+// SetFaultInjector installs (or, with nil, removes) the fault injector
+// consulted before every physical page access.
+func (d *Disk) SetFaultInjector(inj FaultInjector) { d.inj = inj }
+
+// injectFault runs the installed injector for one access of class c,
+// charging any injected latency to the clock before returning the
+// injected error (nil when no fault fires).
+func (d *Disk) injectFault(op FaultOp, c FileClass) error {
+	if d.inj == nil {
+		return nil
+	}
+	lat, err := d.inj.BeforePageIO(op, c)
+	if lat > 0 {
+		d.clock.Idle(lat)
+	}
+	return err
+}
+
 // NewDisk creates an empty simulated disk charging I/O to clock.
 func NewDisk(clock *vclock.Clock) *Disk {
 	return &Disk{clock: clock, files: make(map[FileID]*file)}
@@ -91,22 +204,72 @@ func (d *Disk) Clock() *vclock.Clock { return d.clock }
 // Stats returns a copy of the physical I/O counters.
 func (d *Disk) Stats() DiskStats { return d.stats }
 
-// Create allocates a new empty file.
-func (d *Disk) Create() FileID {
+// Create allocates a new empty ClassBase file.
+func (d *Disk) Create() FileID { return d.CreateClass(ClassBase) }
+
+// CreateTemp allocates a new empty ClassTemp (per-query scratch) file.
+func (d *Disk) CreateTemp() FileID { return d.CreateClass(ClassTemp) }
+
+// CreateClass allocates a new empty file of the given class. FileIDs are
+// never reused, so a stale reference to a removed file can only miss —
+// it can never alias a newer file.
+func (d *Disk) CreateClass(class FileClass) FileID {
 	id := d.next
 	d.next++
-	d.files[id] = &file{lastRead: -2, lastWrit: -2}
+	d.files[id] = &file{class: class, lastRead: -2, lastWrit: -2}
 	return id
 }
 
 // Remove deletes a file and frees its pages. Removing a nonexistent file
-// is an error (it indicates an executor bug).
+// is an error (it indicates an executor bug). Callers that may hold the
+// file's pages in a buffer pool must invalidate them first (see
+// BufferPool.RemoveFile), or a later eviction will try to write back an
+// orphaned dirty page.
 func (d *Disk) Remove(id FileID) error {
 	if _, ok := d.files[id]; !ok {
 		return fmt.Errorf("storage: remove of unknown file %d", id)
 	}
 	delete(d.files, id)
 	return nil
+}
+
+// Exists reports whether the file is currently allocated.
+func (d *Disk) Exists(id FileID) bool {
+	_, ok := d.files[id]
+	return ok
+}
+
+// ClassOf returns the file's class (ClassBase for unknown files).
+func (d *Disk) ClassOf(id FileID) FileClass {
+	if f, ok := d.files[id]; ok {
+		return f.class
+	}
+	return ClassBase
+}
+
+// OpenFiles returns the ids of all currently allocated files, sorted.
+// This is the leak-check API: after a query finishes — successfully or
+// not — OpenFiles(ClassTemp) must be empty.
+func (d *Disk) OpenFiles() []FileID {
+	ids := make([]FileID, 0, len(d.files))
+	for id := range d.files {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// OpenFilesOfClass returns the sorted ids of allocated files of one
+// class.
+func (d *Disk) OpenFilesOfClass(class FileClass) []FileID {
+	var ids []FileID
+	for id, f := range d.files {
+		if f.class == class {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // NumPages returns the number of pages in the file.
@@ -126,6 +289,9 @@ func (d *Disk) readPage(pid PageID) ([]byte, error) {
 	}
 	if int(pid.Num) >= len(f.pages) || pid.Num < 0 {
 		return nil, fmt.Errorf("storage: read past EOF: page %v of %d", pid, len(f.pages))
+	}
+	if err := d.injectFault(OpRead, f.class); err != nil {
+		return nil, fmt.Errorf("storage: reading page %v: %w", pid, err)
 	}
 	if pid.Num == f.lastRead+1 {
 		d.clock.ChargeSeqIO(1)
@@ -149,6 +315,9 @@ func (d *Disk) writePage(pid PageID, data []byte) error {
 	}
 	if len(data) != PageSize {
 		return fmt.Errorf("storage: write of %d bytes, want %d", len(data), PageSize)
+	}
+	if err := d.injectFault(OpWrite, f.class); err != nil {
+		return fmt.Errorf("storage: writing page %v: %w", pid, err)
 	}
 	switch {
 	case int(pid.Num) < len(f.pages):

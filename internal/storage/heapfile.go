@@ -37,9 +37,17 @@ type HeapFile struct {
 	nrecords int64
 }
 
-// CreateHeapFile allocates a new empty heap file on the pool's disk.
+// CreateHeapFile allocates a new empty ClassBase heap file on the
+// pool's disk (table heaps, the txn log — files that outlive queries).
 func CreateHeapFile(pool *BufferPool) *HeapFile {
 	return &HeapFile{pool: pool, id: pool.Disk().Create(), curPage: -1}
+}
+
+// CreateTempHeapFile allocates a new empty ClassTemp heap file (spill
+// partitions, sort runs). Temp files must be Dropped on every query
+// exit path; Disk.OpenFilesOfClass(ClassTemp) is the leak check.
+func CreateTempHeapFile(pool *BufferPool) *HeapFile {
+	return &HeapFile{pool: pool, id: pool.Disk().CreateTemp(), curPage: -1}
 }
 
 // OpenHeapFile reopens an existing file for scanning. Appending to a
@@ -127,11 +135,12 @@ func (hf *HeapFile) flushCur() error {
 // readable. Call once after loading; further appends start a new page.
 func (hf *HeapFile) Sync() error { return hf.flushCur() }
 
-// Drop removes the file from disk and the buffer pool.
+// Drop removes the file from disk and the buffer pool (frames first, so
+// no orphaned dirty page can be written back later). Dropping twice is
+// an error, matching Disk.Remove.
 func (hf *HeapFile) Drop() error {
-	hf.pool.DropFile(hf.id)
 	hf.cur = nil
-	return hf.pool.Disk().Remove(hf.id)
+	return hf.pool.RemoveFile(hf.id)
 }
 
 // Fetch returns the record stored at rid (a copy).

@@ -204,7 +204,11 @@ func TestRollbackMonitorUnderLoad(t *testing.T) {
 	// The pool holds the whole table, so this rollback is CPU-bound;
 	// a CPU hog slows it 6x shortly after it begins.
 	at := clock.Now()
-	clock.SetProfile(vclock.MustLoadProfile(vclock.Interval{Start: at + 0.2, End: at + 1e6, CPUFactor: 6}))
+	prof, err := vclock.NewLoadProfile(vclock.Interval{Start: at + 0.2, End: at + 1e6, CPUFactor: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.SetProfile(prof)
 	mon := NewRollbackMonitor(clock, 0.1, 0.3)
 	if err := tx.Rollback(mon); err != nil {
 		t.Fatal(err)

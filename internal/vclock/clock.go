@@ -124,16 +124,6 @@ func NewLoadProfile(intervals ...Interval) (*LoadProfile, error) {
 	return &LoadProfile{intervals: sorted}, nil
 }
 
-// MustLoadProfile is NewLoadProfile that panics on error; for use with
-// static literals in tests and the harness.
-func MustLoadProfile(intervals ...Interval) *LoadProfile {
-	p, err := NewLoadProfile(intervals...)
-	if err != nil {
-		panic(err)
-	}
-	return p
-}
-
 // factorAt returns the slowdown factor for kind at time t and the time at
 // which that factor next changes (math.Inf(1) if it never does).
 func (p *LoadProfile) factorAt(t float64, kind WorkKind) (factor, until float64) {

@@ -8,6 +8,17 @@ import (
 
 func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
 
+// mustProfile builds a LoadProfile from static literals, failing the
+// test on error (the library itself no longer has a panicking variant).
+func mustProfile(t *testing.T, intervals ...Interval) *LoadProfile {
+	t.Helper()
+	p, err := NewLoadProfile(intervals...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
 func TestUnloadedAdvance(t *testing.T) {
 	c := New(Costs{SeqPage: 0.01, RandPage: 0.05, CPUTuple: 1e-4}, nil)
 	c.ChargeSeqIO(100)
@@ -56,7 +67,7 @@ func TestLoadProfileValidation(t *testing.T) {
 
 func TestInterferenceSlowdown(t *testing.T) {
 	// I/O is 4x slower between t=1 and t=3.
-	p := MustLoadProfile(Interval{Start: 1, End: 3, IOFactor: 4})
+	p := mustProfile(t, Interval{Start: 1, End: 3, IOFactor: 4})
 	c := New(Costs{SeqPage: 0.01, RandPage: 0.01, CPUTuple: 0.01}, p)
 
 	// 100 pages of base work = 1.0s fits exactly before the interval.
@@ -83,7 +94,7 @@ func TestInterferenceSlowdown(t *testing.T) {
 }
 
 func TestCPUInterference(t *testing.T) {
-	p := MustLoadProfile(Interval{Start: 0, End: 10, CPUFactor: 2})
+	p := mustProfile(t, Interval{Start: 0, End: 10, CPUFactor: 2})
 	c := New(Costs{SeqPage: 0.01, RandPage: 0.01, CPUTuple: 0.01}, p)
 	c.ChargeCPU(100) // 1s base -> 2s loaded
 	if !almost(c.Now(), 2.0) {
@@ -98,7 +109,7 @@ func TestCPUInterference(t *testing.T) {
 func TestStraddleSplitEquivalence(t *testing.T) {
 	// Advancing in one big charge must land at the same time as many
 	// small charges — the piecewise integration invariant.
-	p := MustLoadProfile(
+	p := mustProfile(t,
 		Interval{Start: 0.5, End: 1.5, IOFactor: 3},
 		Interval{Start: 2.0, End: 4.0, IOFactor: 7},
 	)
@@ -188,7 +199,7 @@ func TestPropertyLoadedNeverFaster(t *testing.T) {
 		factor := 1 + float64(factor8%10)
 		start := float64(start8 % 50)
 		span := float64(span8%50) + 1
-		p := MustLoadProfile(Interval{Start: start, End: start + span, IOFactor: factor})
+		p := mustProfile(t, Interval{Start: start, End: start + span, IOFactor: factor})
 		loaded := New(Costs{SeqPage: 0.01, RandPage: 0.01, CPUTuple: 0.01}, p)
 		unloaded := New(Costs{SeqPage: 0.01, RandPage: 0.01, CPUTuple: 0.01}, nil)
 		loaded.Charge(SeqIO, work)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime/debug"
 	"strings"
 
 	"progressdb/internal/core"
@@ -34,6 +35,8 @@ func (db *DB) wireMetrics(pool *storage.BufferPool, disk *storage.Disk) {
 		Misses:          reg.Counter("bufferpool_misses_total", "page lookups read through to disk"),
 		Evictions:       reg.Counter("bufferpool_evictions_total", "frames displaced by LRU"),
 		DirtyWritebacks: reg.Counter("bufferpool_dirty_writebacks_total", "dirty pages written back on eviction or flush"),
+		IORetries:       reg.Counter("storage_io_retries_total", "physical page accesses retried after a transient fault"),
+		IORetryGiveups:  reg.Counter("storage_io_retry_giveups_total", "page accesses that failed after exhausting the retry budget"),
 	})
 	disk.SetMetrics(storage.DiskMetrics{
 		SeqReads:   reg.Counter("disk_seq_reads_total", "sequential physical page reads"),
@@ -86,6 +89,8 @@ func (db *DB) syncGauges() {
 		db.reg.LabeledGauge("vclock_units", "kind", k.String(), "work units charged, by kind").
 			Set(db.clock.UnitsOf(k))
 	}
+	db.reg.Gauge("storage_temp_files_open", "live temp/spill files on the simulated disk").
+		Set(float64(len(db.cat.Pool().Disk().OpenFilesOfClass(storage.ClassTemp))))
 }
 
 func (db *DB) traceEnabled() bool { return db.cfg.Trace || db.cfg.TraceSink != nil }
@@ -104,7 +109,22 @@ type runOut struct {
 // executor gets engine metrics and (optionally) a per-operator collector,
 // and the trace is assembled afterwards. ctx cancels execution at the
 // executor's safe points.
-func (db *DB) run(ctx context.Context, p plan.Node, name string, onProgress func(Report), keepRows, collect bool) (*runOut, error) {
+//
+// run is also the engine's panic boundary and cleanup backstop: a panic
+// anywhere in decomposition or execution (including injected faults) is
+// converted into a typed *exec.InternalError that fails only this
+// query, and on any failure the query's tracked temp files are
+// reclaimed so the engine stays leak-free and reusable.
+func (db *DB) run(ctx context.Context, p plan.Node, name string, onProgress func(Report), keepRows, collect bool) (out *runOut, err error) {
+	var env *exec.Env
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, exec.NewInternalError(r, debug.Stack())
+		}
+		if err != nil && env != nil {
+			env.ReclaimTemps()
+		}
+	}()
 	d := segment.Decompose(p, db.cfg.WorkMemPages)
 	ind := core.New(db.clock, d, core.Options{
 		UpdatePeriod:    db.cfg.ProgressUpdateSeconds,
@@ -128,7 +148,7 @@ func (db *DB) run(ctx context.Context, p plan.Node, name string, onProgress func
 	for _, c := range p.Schema().Cols {
 		res.Columns = append(res.Columns, c.Name)
 	}
-	env := &exec.Env{
+	env = &exec.Env{
 		Pool:         db.cat.Pool(),
 		Clock:        db.clock,
 		WorkMemPages: db.cfg.WorkMemPages,
@@ -239,7 +259,9 @@ func (db *DB) ExplainAnalyze(sql string) (*Result, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
-	out, err := db.run(context.Background(), p, st.Select.String(), nil, true, true)
+	ctx, cancel := db.queryCtx(context.Background())
+	defer cancel()
+	out, err := db.run(ctx, p, st.Select.String(), nil, true, true)
 	if err != nil {
 		return nil, "", err
 	}

@@ -30,6 +30,7 @@ import (
 	"progressdb/internal/catalog"
 	"progressdb/internal/core"
 	"progressdb/internal/exec"
+	"progressdb/internal/faultinject"
 	"progressdb/internal/obs"
 	"progressdb/internal/optimizer"
 	"progressdb/internal/plan"
@@ -98,6 +99,17 @@ type Config struct {
 	// TraceSink, when non-nil, receives a JSONL structured event log: one
 	// line per progress refresh and per segment completion.
 	TraceSink io.Writer
+	// FaultSpec, when non-empty, installs a storage fault injector at
+	// Open for chaos testing — deterministic seedable I/O errors, added
+	// latency, and scheduled panics, per file class. See SetFaultSpec
+	// for the grammar and semantics. Open panics if the spec does not
+	// parse; SetFaultSpec is the error-returning form.
+	FaultSpec string
+	// QueryTimeoutSeconds, when > 0, bounds every Exec* call by a
+	// wall-clock deadline. A query that exceeds it unwinds at the
+	// executor's next safe point, releases its resources, and returns
+	// an error satisfying errors.Is(err, context.DeadlineExceeded).
+	QueryTimeoutSeconds float64
 }
 
 // DB is one engine instance: simulated storage, a catalog, and a virtual
@@ -106,6 +118,7 @@ type DB struct {
 	cfg   Config
 	clock *vclock.Clock
 	cat   *catalog.Catalog
+	inj   *faultinject.Injector
 
 	// Observability (all fields are inert zero values when disabled).
 	reg     *obs.Registry
@@ -143,6 +156,11 @@ func Open(cfg Config) *DB {
 	db.events = obs.NewEventWriter(cfg.TraceSink)
 	if cfg.Metrics {
 		db.wireMetrics(pool, disk)
+	}
+	if cfg.FaultSpec != "" {
+		if err := db.SetFaultSpec(cfg.FaultSpec); err != nil {
+			panic(err) // Must-style: use SetFaultSpec to handle the error
+		}
 	}
 	return db
 }
@@ -418,6 +436,8 @@ func (db *DB) exec(ctx context.Context, sql string, onProgress func(Report), kee
 	if err != nil {
 		return nil, err
 	}
+	ctx, cancel := db.queryCtx(ctx)
+	defer cancel()
 	out, err := db.run(ctx, p, sql, onProgress, keepRows, db.traceEnabled())
 	if err != nil {
 		return nil, err
@@ -436,7 +456,9 @@ func (db *DB) ExecAnalyze(sql string) (*Result, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
-	out, err := db.run(context.Background(), p, sql, nil, false, true)
+	ctx, cancel := db.queryCtx(context.Background())
+	defer cancel()
+	out, err := db.run(ctx, p, sql, nil, false, true)
 	if err != nil {
 		return nil, "", err
 	}
