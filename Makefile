@@ -1,6 +1,6 @@
 # Developer entry points; `make check` is what CI runs.
 
-.PHONY: check test build vet fmt bench-obs chaos
+.PHONY: check test build vet fmt lint fuzz bench-obs chaos
 
 check:
 	./ci.sh
@@ -16,6 +16,18 @@ vet:
 
 fmt:
 	gofmt -w .
+
+# The repo's own go/analysis-style suite (DESIGN.md §7). Exit 1 means
+# findings; fix them or add `//lint:ignore <analyzer> <reason>`.
+lint:
+	go run ./cmd/progresslint ./...
+
+# Open-ended fuzzing of the two engine-boundary parsers. Override the
+# budget per target: make fuzz FUZZTIME=5m
+FUZZTIME ?= 60s
+fuzz:
+	go test -run FuzzParse -fuzz FuzzParse -fuzztime $(FUZZTIME) ./internal/faultinject/
+	go test -run FuzzParseStatement -fuzz FuzzParseStatement -fuzztime $(FUZZTIME) ./internal/sqlparser/
 
 # Randomized fault-schedule property suite at full depth (DESIGN.md §6):
 # hundreds of deterministic random fault schedules under -race, each

@@ -16,6 +16,10 @@ fi
 echo "ok"
 
 echo "== go vet =="
+# progresslint is NOT a -vettool here: unitchecker (the protocol vet
+# plugins speak) lives in golang.org/x/tools, which this module does not
+# vendor. The analyzers run as a standalone binary in the progresslint
+# section below instead.
 go vet ./...
 
 echo "== go build =="
@@ -26,6 +30,19 @@ bindir=$(mktemp -d)
 trap 'rm -rf "$bindir"' EXIT
 go build -o "$bindir" ./cmd/...
 ls "$bindir"
+
+echo "== progresslint =="
+# The repo's own analyzers (DESIGN.md §7): wall-clock bans in engine
+# packages, executor cancellation safe points, Open/Close unwind
+# pairing, metric naming, error wrapping. Exit 1 = findings, 2 = the
+# module failed to load.
+"$bindir"/progresslint ./...
+
+echo "== fuzz smoke =="
+# Short deterministic-budget runs of the fuzz targets; `make fuzz`
+# runs them open-ended.
+go test -run FuzzParse -fuzz FuzzParse -fuzztime 10s ./internal/faultinject/
+go test -run FuzzParseStatement -fuzz FuzzParseStatement -fuzztime 10s ./internal/sqlparser/
 
 echo "== progressd smoke =="
 # End to end on an ephemeral port: submit a query, stream one SSE

@@ -1,0 +1,96 @@
+// Command progresslint is the engine's multichecker: it loads the
+// module, runs every analyzer in internal/analysis/checks over the
+// requested packages, and exits non-zero if any invariant is violated.
+// It is the CI teeth behind DESIGN.md §7 ("Checked invariants").
+//
+// Usage:
+//
+//	progresslint [-json] [-list] [packages...]
+//
+// With no package patterns it checks ./... from the current module.
+// Violations are printed one per line as file:line:col: [analyzer]
+// message. Suppress a finding with //lint:ignore <analyzer> <reason>
+// on the offending line or the line above; the suppression inventory
+// is itself audited (unknown analyzer names, missing reasons, and
+// suppressions that no longer suppress anything are reported).
+//
+// Exit codes: 0 clean, 1 findings, 2 load/internal failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"progressdb/internal/analysis"
+	"progressdb/internal/analysis/checks"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: progresslint [-json] [-list] [packages...]\n\n"+
+				"Checks the module's engine invariants (DESIGN.md §7).\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := checks.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := analysis.ModuleRoot("")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "progresslint:", err)
+		os.Exit(2)
+	}
+	mod, err := analysis.Load(root, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "progresslint:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(mod.Fset, mod.Packages, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "progresslint:", err)
+		os.Exit(2)
+	}
+
+	if *jsonOut {
+		type jsonDiag struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File: d.Pos.Filename, Line: d.Pos.Line, Column: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "progresslint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "progresslint: %d finding(s) in %d package(s)\n",
+			len(diags), len(mod.Packages))
+		os.Exit(1)
+	}
+}

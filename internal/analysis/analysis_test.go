@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadModule proves the stdlib-only loader round-trips the real
+// module: go list -export supplies export data, and every non-test
+// package type-checks from source against it.
+func TestLoadModule(t *testing.T) {
+	m, err := FixtureModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Packages) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	wantPkgs := map[string]bool{
+		"progressdb":                  false,
+		"progressdb/internal/exec":    false,
+		"progressdb/internal/obs":     false,
+		"progressdb/internal/storage": false,
+		"progressdb/cmd/progresslint": false,
+	}
+	for _, pkg := range m.Packages {
+		if _, ok := wantPkgs[pkg.Path]; ok {
+			wantPkgs[pkg.Path] = true
+		}
+		if pkg.Types == nil || pkg.Info == nil {
+			t.Errorf("%s: missing type information", pkg.Path)
+		}
+		if len(pkg.Files) == 0 {
+			t.Errorf("%s: no files", pkg.Path)
+		}
+		for _, f := range pkg.Files {
+			name := m.Fset.Position(f.Pos()).Filename
+			if base := filepath.Base(name); len(base) > len("_test.go") &&
+				base[len(base)-len("_test.go"):] == "_test.go" {
+				t.Errorf("%s: test file %s was loaded; analysis must skip tests", pkg.Path, base)
+			}
+		}
+	}
+	for path, seen := range wantPkgs {
+		if !seen {
+			t.Errorf("package %s not loaded", path)
+		}
+	}
+}
+
+// TestModuleRoot sanity-checks module root discovery.
+func TestModuleRoot(t *testing.T) {
+	root, err := ModuleRoot("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := filepath.Abs(root); err != nil {
+		t.Fatalf("root %q not a path: %v", root, err)
+	}
+}
+
+// TestRunDeterministic: two runs over the same packages produce
+// identical diagnostics in identical order (the suite runs in CI, so
+// flaky ordering would be a build-breaking bug).
+func TestRunDeterministic(t *testing.T) {
+	m, err := FixtureModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := m.CheckSource("progressdb/internal/detfixture", "det_fixture.go", `
+package detfixture
+
+func flagged() int { return 0 }
+
+func a() int { return flagged() }
+func b() int { return flagged() }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	callflag, _ := testAnalyzers()
+	run := func() []Diagnostic {
+		diags, err := Run(m.Fset, []*Package{pkg}, []*Analyzer{callflag})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return diags
+	}
+	first, second := run(), run()
+	if len(first) != 2 || len(second) != 2 {
+		t.Fatalf("got %d and %d diagnostics, want 2 and 2", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Errorf("diagnostic %d differs between runs: %v vs %v", i, first[i], second[i])
+		}
+	}
+	if first[0].Pos.Line >= first[1].Pos.Line {
+		t.Errorf("diagnostics not sorted by position: %v", first)
+	}
+}

@@ -1,0 +1,168 @@
+package checks
+
+import (
+	"strings"
+	"testing"
+
+	"progressdb/internal/analysis"
+)
+
+// Each fixture both proves the analyzer fires (a missed want fails the
+// test, so the fixture fails without the analyzer) and pins down what
+// it must NOT flag (any extra diagnostic fails the test too).
+
+func TestVclockTimeFixture(t *testing.T) {
+	analysis.RunFixture(t, VclockTime,
+		"progressdb/internal/storage",
+		"testdata/vclocktime/engine.go")
+}
+
+// TestVclockTimeOutsideEngine re-checks the same wall-clock-using
+// source under a non-engine path: the server's wall timings are
+// legitimate, so nothing may be reported.
+func TestVclockTimeOutsideEngine(t *testing.T) {
+	analysis.RunSource(t, []*analysis.Analyzer{VclockTime},
+		"progressdb/internal/server", "server_fixture.go", `
+package fixture
+
+import "time"
+
+func wallLatency() time.Duration {
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	return time.Since(start)
+}
+`)
+}
+
+func TestSafepointFixture(t *testing.T) {
+	analysis.RunFixture(t, Safepoint,
+		"progressdb/internal/exec",
+		"testdata/safepoint/loops.go")
+}
+
+// TestSafepointOutsideExec: the same unsafe loop shape in another
+// package is out of scope (only the executor carries the invariant),
+// so a loop that would be flagged in internal/exec reports nothing.
+func TestSafepointOutsideExec(t *testing.T) {
+	analysis.RunSource(t, []*analysis.Analyzer{Safepoint},
+		"progressdb/internal/btree", "btree_fixture.go", `
+package fixture
+
+type scanner struct{}
+
+func (scanner) Next() ([]byte, int, bool) { return nil, 0, false }
+
+type clock struct{}
+
+func (clock) ChargeCPU(n float64) {}
+
+func drain(sc scanner, c clock) {
+	for {
+		_, _, ok := sc.Next()
+		if !ok {
+			return
+		}
+		c.ChargeCPU(1)
+	}
+}
+`)
+}
+
+func TestClosepathFixture(t *testing.T) {
+	analysis.RunFixture(t, Closepath,
+		"progressdb/internal/exec",
+		"testdata/closepath/operators.go")
+}
+
+func TestObsnamesFixture(t *testing.T) {
+	analysis.RunFixture(t, Obsnames,
+		"progressdb/internal/server",
+		"testdata/obsnames/metrics.go")
+}
+
+// TestObsnamesCrossPackageDuplicate proves duplicate detection spans
+// packages: the same unlabeled name registered in two packages of one
+// run is flagged at the second site.
+func TestObsnamesCrossPackageDuplicate(t *testing.T) {
+	m, err := analysis.FixtureModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg1, err := m.CheckSource("progressdb/internal/aaa", "aaa_fixture.go", `
+package aaa
+
+import "progressdb/internal/obs"
+
+func wire(reg *obs.Registry) {
+	reg.Counter("exec_fixture_dup_total", "first site")
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg2, err := m.CheckSource("progressdb/internal/bbb", "bbb_fixture.go", `
+package bbb
+
+import "progressdb/internal/obs"
+
+func wire(reg *obs.Registry) {
+	reg.Counter("exec_fixture_dup_total", "second site") // duplicate
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(m.Fset, []*analysis.Package{pkg1, pkg2}, []*analysis.Analyzer{Obsnames})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Pos.Filename != "bbb_fixture.go" {
+		t.Errorf("duplicate reported at %s, want the second (sorted-later) site bbb_fixture.go", d.Pos.Filename)
+	}
+	if want := "already registered at aaa_fixture.go"; !strings.Contains(d.Message, want) {
+		t.Errorf("message %q does not mention %q", d.Message, want)
+	}
+}
+
+func TestErrwrapFixture(t *testing.T) {
+	analysis.RunFixture(t, Errwrap,
+		"progressdb/internal/faultinject",
+		"testdata/errwrap/wrap.go")
+}
+
+// TestErrwrapMainExempt: package main may fail fast with panic.
+func TestErrwrapMainExempt(t *testing.T) {
+	analysis.RunSource(t, []*analysis.Analyzer{Errwrap},
+		"progressdb/examples/fixture", "main_fixture.go", `
+package main
+
+func run(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+`)
+}
+
+// TestAllCleanOnFixturelessSource is a smoke check that the full suite
+// coexists on one innocuous package.
+func TestAllCleanOnFixturelessSource(t *testing.T) {
+	analysis.RunSource(t, All(),
+		"progressdb/internal/plan", "plan_fixture.go", `
+package fixture
+
+import "fmt"
+
+func describe(n int) (string, error) {
+	if n < 0 {
+		return "", fmt.Errorf("fixture: negative %d", n)
+	}
+	return fmt.Sprintf("n=%d", n), nil
+}
+`)
+}

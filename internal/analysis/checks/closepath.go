@@ -1,0 +1,199 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"progressdb/internal/analysis"
+)
+
+// Closepath guards the executor's leak-freedom contract (PR 3). The
+// engine's unwind protocol is: exec.Run guarantees it.Close() on every
+// failed Open, each operator's Close must release whatever its Open
+// acquired (tracked with open/closed flags), and every spill file is
+// allocated through Env.newTempFile so ReclaimTemps can sweep what a
+// panic bypassed. Two mechanically checkable consequences:
+//
+//  1. Child pairing: if an operator's Open method opens a child held in
+//     a receiver field (recv.f.Open()), its Close method must close the
+//     same field (recv.f.Close()). An operator that forgets leaks the
+//     child's resources on every early-error unwind.
+//  2. Temp-file provenance: inside internal/exec, spill files must be
+//     created via (*Env).newTempFile, never storage.CreateTempHeapFile
+//     or storage.CreateHeapFile directly — a direct allocation is
+//     invisible to ReclaimTemps and survives a recovered panic.
+var Closepath = &analysis.Analyzer{
+	Name: "closepath",
+	Doc: "operators' Close must unwind what Open acquired: every child " +
+		"opened through a receiver field must be closed in Close, and " +
+		"temp files must come from Env.newTempFile so ReclaimTemps can " +
+		"guarantee cleanup",
+	Run: runClosepath,
+}
+
+func runClosepath(pass *analysis.Pass) error {
+	if !isExecPackage(pass.Path) {
+		return nil
+	}
+	type openCall struct {
+		path string
+		pos  ast.Node
+	}
+	opened := map[string][]openCall{} // receiver type -> fields opened in Open
+	closed := map[string]map[string]bool{}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			// Temp-file provenance applies to every function body,
+			// method or not.
+			checkTempProvenance(pass, fn)
+
+			if fn.Recv == nil {
+				continue
+			}
+			recvType, recvName := receiverInfo(fn)
+			if recvType == "" || recvName == "" {
+				continue
+			}
+			switch fn.Name.Name {
+			case "Open":
+				for _, c := range receiverMethodCalls(fn.Body, recvName, "Open") {
+					opened[recvType] = append(opened[recvType], openCall{path: c.path, pos: c.node})
+				}
+			case "Close":
+				set := closed[recvType]
+				if set == nil {
+					set = map[string]bool{}
+					closed[recvType] = set
+				}
+				for _, c := range receiverMethodCalls(fn.Body, recvName, "Close") {
+					set[c.path] = true
+				}
+			}
+		}
+	}
+
+	for recvType, calls := range opened {
+		for _, c := range calls {
+			if !closed[recvType][c.path] {
+				pass.Reportf(c.pos.Pos(),
+					"%s.Open opens %s but %s.Close never closes it: a failed Open unwinds "+
+						"through Close, which must release every acquired child "+
+						"(or suppress with //lint:ignore closepath <reason>)",
+					recvType, c.path, recvType)
+			}
+		}
+	}
+	return nil
+}
+
+// receiverInfo extracts the receiver's type and binding names.
+func receiverInfo(fn *ast.FuncDecl) (typeName, bindName string) {
+	field := fn.Recv.List[0]
+	t := field.Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	ident, ok := t.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	if len(field.Names) == 0 {
+		return ident.Name, ""
+	}
+	return ident.Name, field.Names[0].Name
+}
+
+type fieldCall struct {
+	path string
+	node ast.Node
+}
+
+// receiverMethodCalls finds calls of the form recv.<field...>.method()
+// in body and returns the dotted field paths.
+func receiverMethodCalls(body *ast.BlockStmt, recvName, method string) []fieldCall {
+	var out []fieldCall
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != method {
+			return true
+		}
+		path, ok := fieldPath(sel.X, recvName)
+		if ok && path != "" {
+			out = append(out, fieldCall{path: path, node: call})
+		}
+		return true
+	})
+	return out
+}
+
+// fieldPath flattens expr into a dotted path rooted at the receiver
+// identifier: s.child -> "child", g.buildPart.child -> "buildPart.child".
+// Index expressions and calls make the path dynamic; those are skipped
+// (ok=false) rather than guessed at.
+func fieldPath(expr ast.Expr, recvName string) (string, bool) {
+	var parts []string
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			if e.Name != recvName {
+				return "", false
+			}
+			// Reverse-accumulated: parts were appended leaf-first.
+			for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+				parts[i], parts[j] = parts[j], parts[i]
+			}
+			return strings.Join(parts, "."), true
+		case *ast.SelectorExpr:
+			parts = append(parts, e.Sel.Name)
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return "", false
+		}
+	}
+}
+
+// checkTempProvenance reports direct heap-file creation in exec outside
+// the sanctioned Env.newTempFile helper.
+func checkTempProvenance(pass *analysis.Pass, fn *ast.FuncDecl) {
+	if fn.Name.Name == "newTempFile" {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "CreateTempHeapFile" && sel.Sel.Name != "CreateHeapFile" {
+			return true
+		}
+		ident, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+		if !ok || pkgName.Imported().Path() != "progressdb/internal/storage" {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"direct storage.%s in internal/exec: spill files must be created via "+
+				"Env.newTempFile so ReclaimTemps can guarantee cleanup after a panic",
+			sel.Sel.Name)
+		return true
+	})
+}

@@ -1,0 +1,84 @@
+// Fixture for the closepath analyzer, type-checked under the assumed
+// import path progressdb/internal/exec. It models the operator unwind
+// protocol: every receiver field opened in Open must be closed in
+// Close, and spill files must come from Env.newTempFile rather than
+// storage.CreateTempHeapFile / CreateHeapFile directly.
+package fixture
+
+import "progressdb/internal/storage"
+
+type child struct{}
+
+func (child) Open() error  { return nil }
+func (child) Close() error { return nil }
+
+// goodOp closes everything it opens, including a nested field.
+type goodOp struct {
+	left  child
+	right child
+	inner struct{ src child }
+}
+
+func (o *goodOp) Open() error {
+	if err := o.left.Open(); err != nil {
+		return err
+	}
+	if err := o.inner.src.Open(); err != nil {
+		return err
+	}
+	return o.right.Open()
+}
+
+func (o *goodOp) Close() error {
+	if err := o.left.Close(); err != nil {
+		return err
+	}
+	if err := o.inner.src.Close(); err != nil {
+		return err
+	}
+	return o.right.Close()
+}
+
+// leakyOp opens two children but only closes one: a failed Open above
+// it unwinds through Close, which would leak the probe child.
+type leakyOp struct {
+	build child
+	probe child
+}
+
+func (o *leakyOp) Open() error {
+	if err := o.build.Open(); err != nil {
+		return err
+	}
+	return o.probe.Open() // want `leakyOp\.Open opens probe but leakyOp\.Close never closes it`
+}
+
+func (o *leakyOp) Close() error {
+	return o.build.Close()
+}
+
+// noCloseOp has no Close method at all.
+type noCloseOp struct {
+	src child
+}
+
+func (o *noCloseOp) Open() error {
+	return o.src.Open() // want `noCloseOp\.Open opens src but noCloseOp\.Close never closes it`
+}
+
+// suppressedOp documents why its child needs no unwind.
+type suppressedOp struct {
+	src child
+}
+
+func (o *suppressedOp) Open() error {
+	//lint:ignore closepath fixture: child is borrowed, owner closes it
+	return o.src.Open()
+}
+
+// tempFiles exercises the provenance rule.
+func tempFiles(pool *storage.BufferPool) {
+	_ = storage.CreateTempHeapFile(pool) // want `direct storage\.CreateTempHeapFile in internal/exec`
+	//lint:ignore closepath fixture: base-relation file, not a query spill
+	_ = storage.CreateHeapFile(pool)
+}

@@ -1,0 +1,43 @@
+// Fixture for the errwrap analyzer: fmt.Errorf over an error value
+// must use %w, and panic is forbidden outside sanctioned sites.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+var errSentinel = errors.New("sentinel")
+
+func wrapping(name string) error {
+	n, err := strconv.Atoi(name)
+	if err != nil {
+		return fmt.Errorf("fixture: parsing %q: %v", name, err) // want `error formatted with %v instead of %w`
+	}
+	if n < 0 {
+		return fmt.Errorf("fixture: %s: %w", name, errSentinel) // correct wrap
+	}
+	if n == 0 {
+		return fmt.Errorf("fixture: got %s", errSentinel) // want `error formatted with %s instead of %w`
+	}
+	// Non-error arguments take any verb.
+	return fmt.Errorf("fixture: n=%d width=%*d", n, 8, n)
+}
+
+type fault struct{ op string }
+
+func (f *fault) Error() string { return "fault: " + f.op }
+
+func typedError(f *fault) error {
+	// Concrete error types flatten just as badly as interface values.
+	return fmt.Errorf("fixture: io failed: %v", f) // want `error formatted with %v instead of %w`
+}
+
+func panics(ok bool) {
+	if !ok {
+		panic("invariant violated") // want `panic outside a sanctioned containment site`
+	}
+	//lint:ignore errwrap fixture: sanctioned containment site, recovered at the boundary
+	panic("sanctioned")
+}

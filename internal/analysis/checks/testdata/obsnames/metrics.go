@@ -1,0 +1,26 @@
+// Fixture for the obsnames analyzer. The assumed import path is
+// arbitrary (the rule applies module-wide); what matters is that the
+// registrations target *progressdb/internal/obs.Registry.
+package fixture
+
+import "progressdb/internal/obs"
+
+func register(reg *obs.Registry, dynamic string) {
+	// Well-formed names.
+	reg.Counter("storage_io_retries_total", "retried page accesses")
+	reg.Gauge("server_queue_depth", "waiting queries")
+	reg.Histogram("progress_refresh_u", "estimate at refresh", []float64{1, 10})
+	reg.LabeledCounter("exec_rows_out_total", "op", "scan", "rows by operator")
+	// Labeled families may be registered from several sites.
+	reg.LabeledCounter("exec_rows_out_total", "op", "sort", "rows by operator")
+
+	reg.Counter(dynamic, "computed name")                   // want `must be a literal string`
+	reg.Counter("storageIoRetries", "camel case")           // want `not snake_case`
+	reg.Counter("exec_", "dangling underscore")             // want `not snake_case`
+	reg.Counter("query_wall_seconds", "bad subsystem")      // want `unknown subsystem prefix "query"`
+	reg.Gauge("server_queue_depth", "duplicate meaning")    // want `already registered at`
+	reg.Counter("exec_rows_out_total", "labeled collision") // want `already registered at`
+
+	//lint:ignore obsnames fixture: legacy dashboard series kept during migration
+	reg.Counter("legacy_scan_rate", "grandfathered name")
+}

@@ -1,0 +1,36 @@
+// Fixture for the vclocktime analyzer, type-checked under the assumed
+// import path progressdb/internal/storage (an engine package). Each
+// trailing "want" comment is a diagnostic the analyzer must produce;
+// the fixture fails the test if the analyzer misses one or adds one.
+package fixture
+
+import (
+	"time"
+)
+
+// retryDelay is allowed: pure duration arithmetic reads no clocks.
+const retryDelay = 50 * time.Millisecond
+
+func forbiddenCalls() time.Duration {
+	start := time.Now()            // want `time\.Now in engine package .*internal/vclock`
+	time.Sleep(retryDelay)         // want `time\.Sleep in engine package`
+	elapsed := time.Since(start)   // want `time\.Since in engine package`
+	<-time.After(retryDelay)       // want `time\.After in engine package`
+	t := time.NewTimer(retryDelay) // want `time\.NewTimer in engine package`
+	defer t.Stop()
+	return elapsed
+}
+
+func allowedUses() time.Duration {
+	// Constructing and formatting durations/instants is fine; only
+	// observing or consuming wall-clock time is forbidden.
+	d := 3 * time.Second
+	epoch := time.Unix(0, 0)
+	_ = epoch.String()
+	return d
+}
+
+func suppressed() {
+	//lint:ignore vclocktime fixture: demonstrating a sanctioned wall-clock read
+	_ = time.Now()
+}

@@ -1,0 +1,67 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+
+	"progressdb/internal/analysis"
+)
+
+// VclockTime forbids wall-clock time in engine packages. The paper's
+// progress math (monotone U, remaining-time = remaining-U / speed) and
+// this reproduction's determinism (replayable fault schedules, virtual
+// load profiles, figure regeneration) hold only if every engine-visible
+// second flows through internal/vclock. A single stray time.Now in a
+// cost model or retry loop silently reintroduces nondeterminism that no
+// unit test will catch on a fast machine.
+var VclockTime = &analysis.Analyzer{
+	Name: "vclocktime",
+	Doc: "forbid time.Now/Sleep/Since and friends in engine packages; " +
+		"all engine time must flow through internal/vclock so progress " +
+		"accounting and injected latency stay deterministic",
+	Run: runVclockTime,
+}
+
+// forbiddenTimeFuncs are the package-level functions of "time" that
+// observe or consume wall-clock time. Pure constructors and constants
+// (time.Duration, time.Second, time.Unix) remain available for wire
+// formats and config parsing.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+func runVclockTime(pass *analysis.Pass) error {
+	if !isEnginePackage(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || !forbiddenTimeFuncs[sel.Sel.Name] {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+			if !ok || pkgName.Imported().Path() != "time" {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"time.%s in engine package %s: engine time must flow through internal/vclock "+
+					"(wall-clock reads break deterministic progress accounting and fault replay)",
+				sel.Sel.Name, pass.Path)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,203 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string // import path (or assumed path for fixture packages)
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Module is a loaded set of target packages plus the export-data index
+// needed to type-check them (and any extra fixture sources) from
+// source. Loading shells out to `go list -export -deps`, so it needs a
+// working go toolchain but no network and no third-party modules: the
+// standard library's gc importer reads the toolchain's own export data.
+type Module struct {
+	Fset     *token.FileSet
+	Dir      string
+	Packages []*Package
+
+	exports   map[string]string // import path -> export data file
+	importMap map[string]string // vendored/renamed import -> real path
+	imp       types.Importer
+}
+
+// listedPackage is the subset of `go list -json` output we consume.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	GoFiles    []string
+	ImportMap  map[string]string
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns (e.g. "./...") in dir, builds the export-data
+// index for every transitive dependency, and parses + type-checks each
+// non-dependency-only package from source. Test files are excluded:
+// the invariants checked by progresslint constrain engine code, and
+// tests legitimately use wall clocks, panics, and ad-hoc metric names.
+func Load(dir string, patterns ...string) (*Module, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=Dir,ImportPath,Name,Export,GoFiles,ImportMap,DepOnly,Incomplete,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list: %w\n%s", err, stderr.String())
+	}
+
+	m := &Module{
+		Fset:      token.NewFileSet(),
+		Dir:       dir,
+		exports:   make(map[string]string),
+		importMap: make(map[string]string),
+	}
+	var targets []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var lp listedPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("analysis: go list %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			m.exports[lp.ImportPath] = lp.Export
+		}
+		for from, to := range lp.ImportMap {
+			m.importMap[from] = to
+		}
+		if !lp.DepOnly {
+			cp := lp
+			targets = append(targets, &cp)
+		}
+	}
+	m.imp = importer.ForCompiler(m.Fset, "gc", m.lookup)
+
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	for _, lp := range targets {
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(m.Fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: parsing %s: %w", name, err)
+			}
+			files = append(files, f)
+		}
+		pkg, err := m.check(lp.ImportPath, files)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Dir = lp.Dir
+		m.Packages = append(m.Packages, pkg)
+	}
+	return m, nil
+}
+
+// lookup resolves an import path to its export data, honoring any
+// vendor/module import remapping reported by go list.
+func (m *Module) lookup(path string) (io.ReadCloser, error) {
+	if to, ok := m.importMap[path]; ok {
+		path = to
+	}
+	file, ok := m.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("analysis: no export data for %q (is it imported by the module?)", path)
+	}
+	return os.Open(file)
+}
+
+// check type-checks a set of parsed files as one package under the
+// given import path.
+func (m *Module) check(path string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: m.imp}
+	pkg, err := conf.Check(path, m.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Files: files, Types: pkg, Info: info}, nil
+}
+
+// CheckFiles parses and type-checks standalone fixture files as a
+// synthetic package with the given assumed import path. The fixtures
+// may import the standard library and this module's packages (anything
+// with export data in the index).
+func (m *Module) CheckFiles(assumedPath string, filenames ...string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(m.Fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parsing fixture %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	return m.check(assumedPath, files)
+}
+
+// CheckSource type-checks in-memory source as a synthetic package with
+// the given assumed import path. filename is used for positions only.
+func (m *Module) CheckSource(assumedPath, filename, src string) (*Package, error) {
+	f, err := parser.ParseFile(m.Fset, filename, src, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: parsing %s: %w", filename, err)
+	}
+	return m.check(assumedPath, []*ast.File{f})
+}
+
+// ModuleRoot locates the enclosing module's root directory by asking
+// the go tool for the active go.mod, starting from dir ("" = cwd).
+func ModuleRoot(dir string) (string, error) {
+	cmd := exec.Command("go", "env", "GOMOD")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("analysis: go env GOMOD: %w", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("analysis: not inside a module (GOMOD=%q)", gomod)
+	}
+	return filepath.Dir(gomod), nil
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// ignoreDirective is the comment prefix that suppresses one analyzer on
+// one line: //lint:ignore <analyzer> <reason>.
+const ignoreDirective = "lint:ignore"
+
+// suppression is one parsed //lint:ignore directive. It silences
+// diagnostics from the named analyzer on the directive's own line
+// (trailing-comment form) or the line immediately below it
+// (preceding-comment form).
+type suppression struct {
+	pos      token.Position // of the directive comment
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// covers reports whether the suppression applies to a diagnostic at p.
+func (s *suppression) covers(p token.Position, analyzer string) bool {
+	return s.analyzer == analyzer &&
+		s.pos.Filename == p.Filename &&
+		(s.pos.Line == p.Line || s.pos.Line+1 == p.Line)
+}
+
+// collectSuppressions extracts every lint:ignore directive from the
+// files' comments.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) []*suppression {
+	var sups []*suppression
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignoreDirective) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignoreDirective))
+				name, reason, _ := strings.Cut(rest, " ")
+				sups = append(sups, &suppression{
+					pos:      fset.Position(c.Pos()),
+					analyzer: name,
+					reason:   strings.TrimSpace(reason),
+				})
+			}
+		}
+	}
+	return sups
+}
+
+// applySuppressions drops diagnostics covered by a suppression, marking
+// each matching suppression used.
+func applySuppressions(diags []Diagnostic, sups []*suppression) []Diagnostic {
+	var kept []Diagnostic
+	for _, d := range diags {
+		suppressed := false
+		for _, s := range sups {
+			if s.covers(d.Pos, d.Analyzer) {
+				s.used = true
+				suppressed = true
+				// Keep scanning so every matching directive is marked
+				// used (duplicates are then not reported as unused).
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// suppressionDiagnostics audits the directives themselves: a
+// suppression naming an unknown analyzer, missing its reason, or
+// silencing nothing is reported under the reserved analyzer name
+// "suppress". This keeps the ignore inventory honest — a stale
+// directive outlives its violation and would otherwise hide the next
+// real one on that line.
+func suppressionDiagnostics(sups []*suppression, known map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	report := func(s *suppression, format string, args ...interface{}) {
+		out = append(out, Diagnostic{
+			Pos:      s.pos,
+			Analyzer: "suppress",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
+	for _, s := range sups {
+		switch {
+		case s.analyzer == "":
+			report(s, "lint:ignore needs an analyzer name and a reason")
+		case !known[s.analyzer]:
+			names := make([]string, 0, len(known))
+			for n := range known {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			report(s, "lint:ignore names unknown analyzer %q (known: %s)", s.analyzer, strings.Join(names, ", "))
+		case s.reason == "":
+			report(s, "lint:ignore %s needs a reason", s.analyzer)
+		case !s.used:
+			report(s, "unused lint:ignore %s (nothing suppressed on this or the next line)", s.analyzer)
+		}
+	}
+	return out
+}

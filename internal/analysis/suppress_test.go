@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+)
+
+// testAnalyzers returns two toy analyzers: "callflag" reports every
+// call to a function named flagged(), "litflag" reports every string
+// literal "flagged". Two analyzers are needed to prove a suppression
+// silences exactly the named one.
+func testAnalyzers() (callflag, litflag *Analyzer) {
+	callflag = &Analyzer{
+		Name: "callflag",
+		Doc:  "reports calls to flagged()",
+		Run: func(pass *Pass) error {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if ident, ok := call.Fun.(*ast.Ident); ok && ident.Name == "flagged" {
+						pass.Reportf(call.Pos(), "call to flagged")
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+	litflag = &Analyzer{
+		Name: "litflag",
+		Doc:  "reports the string literal \"flagged\"",
+		Run: func(pass *Pass) error {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					lit, ok := n.(*ast.BasicLit)
+					if ok && lit.Value == `"flagged"` {
+						pass.Reportf(lit.Pos(), "flagged literal")
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+	return callflag, litflag
+}
+
+// runOn runs both toy analyzers over one source file and returns the
+// surviving diagnostics.
+func runOn(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	m, err := FixtureModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := m.CheckSource("progressdb/internal/suppressfixture", "sup_fixture.go", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	callflag, litflag := testAnalyzers()
+	diags, err := Run(m.Fset, []*Package{pkg}, []*Analyzer{callflag, litflag})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+const supHeader = `
+package suppressfixture
+
+func flagged() string { return "ok" }
+`
+
+// TestSuppressionSilencesExactlyNamedAnalyzer: one line violates both
+// analyzers; suppressing callflag must leave litflag's diagnostic (and
+// the suppression must count as used).
+func TestSuppressionSilencesExactlyNamedAnalyzer(t *testing.T) {
+	diags := runOn(t, supHeader+`
+func both() (string, string) {
+	//lint:ignore callflag reason: exercising selective suppression
+	return flagged(), "flagged"
+}
+`)
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1 (litflag only): %v", len(diags), diags)
+	}
+	if diags[0].Analyzer != "litflag" {
+		t.Errorf("surviving diagnostic is from %s, want litflag", diags[0].Analyzer)
+	}
+}
+
+// TestTrailingSuppression: the directive also works as an end-of-line
+// comment on the offending line itself.
+func TestTrailingSuppression(t *testing.T) {
+	diags := runOn(t, supHeader+`
+func trailing() string {
+	return flagged() //lint:ignore callflag reason: trailing form
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("got %d diagnostics, want 0: %v", len(diags), diags)
+	}
+}
+
+// TestMisspelledSuppressionReported: naming an unknown analyzer is
+// itself a finding, and the original diagnostic survives.
+func TestMisspelledSuppressionReported(t *testing.T) {
+	diags := runOn(t, supHeader+`
+func misspelled() string {
+	//lint:ignore callflagg oops, typo in the analyzer name
+	return flagged()
+}
+`)
+	var sawMeta, sawOriginal bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "suppress":
+			sawMeta = true
+			if !strings.Contains(d.Message, `unknown analyzer "callflagg"`) {
+				t.Errorf("meta diagnostic %q does not name the misspelling", d.Message)
+			}
+			if !strings.Contains(d.Message, "callflag, litflag") {
+				t.Errorf("meta diagnostic %q does not list known analyzers", d.Message)
+			}
+		case "callflag":
+			sawOriginal = true
+		}
+	}
+	if !sawMeta {
+		t.Error("misspelled suppression was not reported")
+	}
+	if !sawOriginal {
+		t.Error("original diagnostic was swallowed by a misspelled suppression")
+	}
+}
+
+// TestUnusedSuppressionReported: a directive that silences nothing is
+// stale and must be flagged.
+func TestUnusedSuppressionReported(t *testing.T) {
+	diags := runOn(t, supHeader+`
+func clean() int {
+	//lint:ignore callflag reason: nothing wrong on the next line anymore
+	return 42
+}
+`)
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "suppress" || !strings.Contains(d.Message, "unused lint:ignore callflag") {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}
+
+// TestReasonRequired: a bare directive without a reason is flagged but
+// still suppresses (so fixing the reason is a one-line edit, not a
+// two-failure cascade).
+func TestReasonRequired(t *testing.T) {
+	diags := runOn(t, supHeader+`
+func bare() string {
+	//lint:ignore callflag
+	return flagged()
+}
+`)
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "suppress" || !strings.Contains(d.Message, "needs a reason") {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}

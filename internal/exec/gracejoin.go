@@ -222,6 +222,12 @@ func (g *graceJoin) loadBuildBatch(b int) error {
 		if !ok {
 			break
 		}
+		// Safe point: rebuilding a spilled batch table is unbounded work
+		// driven by a raw scanner, so it must poll for cancellation
+		// itself (found by progresslint's safepoint analyzer).
+		if err := g.env.yield(); err != nil {
+			return err
+		}
 		t, err := tuple.Decode(rec, g.buildArity)
 		if err != nil {
 			return err

@@ -295,6 +295,12 @@ func (h *hashJoin) loadBatch(b int) error {
 		if !ok {
 			break
 		}
+		// Safe point: reloading a spilled build batch streams from a raw
+		// scanner, outside any child Iterator's yield chain (found by
+		// progresslint's safepoint analyzer).
+		if err := h.env.yield(); err != nil {
+			return err
+		}
 		t, err := tuple.Decode(rec, h.buildArity)
 		if err != nil {
 			return err

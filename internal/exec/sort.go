@@ -177,6 +177,13 @@ func (s *sortIter) intermediateMerges() error {
 				if !ok {
 					return out.Sync()
 				}
+				// Safe point: intermediate merges re-stream every spilled
+				// byte without touching a child Iterator, so a cancel
+				// mid-merge would otherwise go unseen until all passes
+				// finish (found by progresslint's safepoint analyzer).
+				if err := s.env.yield(); err != nil {
+					return err
+				}
 				sz := t.EncodedSize()
 				s.env.Clock.ChargeCPU(cpuTuple * 2)
 				rep.Extra(s.tag.ProducerSeg, 2*float64(sz))

@@ -25,6 +25,7 @@ package faultinject
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"strconv"
 	"strings"
@@ -115,9 +116,11 @@ func Parse(spec string) (Config, error) {
 		prob := func() (float64, error) {
 			p, err := strconv.ParseFloat(val, 64)
 			if err != nil {
-				return 0, fmt.Errorf("faultinject: %s: %v", key, err)
+				return 0, fmt.Errorf("faultinject: %s: %w", key, err)
 			}
-			if p < 0 || p > 1 {
+			// NaN fails every comparison, so test the valid range
+			// positively instead of rejecting the invalid one.
+			if !(p >= 0 && p <= 1) {
 				return 0, fmt.Errorf("faultinject: %s=%g outside [0,1]", key, p)
 			}
 			return p, nil
@@ -125,7 +128,7 @@ func Parse(spec string) (Config, error) {
 		count := func() (int64, error) {
 			n, err := strconv.ParseInt(val, 10, 64)
 			if err != nil {
-				return 0, fmt.Errorf("faultinject: %s: %v", key, err)
+				return 0, fmt.Errorf("faultinject: %s: %w", key, err)
 			}
 			if n < 0 {
 				return 0, fmt.Errorf("faultinject: %s=%d must be >= 0", key, n)
@@ -137,7 +140,7 @@ func Parse(spec string) (Config, error) {
 		case "seed":
 			cfg.Seed, err = strconv.ParseInt(val, 10, 64)
 			if err != nil {
-				err = fmt.Errorf("faultinject: seed: %v", err)
+				err = fmt.Errorf("faultinject: seed: %w", err)
 			}
 		case "readerr":
 			cfg.ReadErrProb, err = prob()
@@ -151,16 +154,16 @@ func Parse(spec string) (Config, error) {
 				return cfg, fmt.Errorf("faultinject: latency wants prob:seconds, got %q", val)
 			}
 			if cfg.LatencyProb, err = strconv.ParseFloat(p, 64); err != nil {
-				return cfg, fmt.Errorf("faultinject: latency prob: %v", err)
+				return cfg, fmt.Errorf("faultinject: latency prob: %w", err)
 			}
-			if cfg.LatencyProb < 0 || cfg.LatencyProb > 1 {
+			if !(cfg.LatencyProb >= 0 && cfg.LatencyProb <= 1) { // NaN-proof range check
 				return cfg, fmt.Errorf("faultinject: latency prob %g outside [0,1]", cfg.LatencyProb)
 			}
 			if cfg.LatencySeconds, err = strconv.ParseFloat(s, 64); err != nil {
-				return cfg, fmt.Errorf("faultinject: latency seconds: %v", err)
+				return cfg, fmt.Errorf("faultinject: latency seconds: %w", err)
 			}
-			if cfg.LatencySeconds < 0 {
-				return cfg, fmt.Errorf("faultinject: latency seconds %g must be >= 0", cfg.LatencySeconds)
+			if !(cfg.LatencySeconds >= 0) || math.IsInf(cfg.LatencySeconds, 1) {
+				return cfg, fmt.Errorf("faultinject: latency seconds %g must be finite and >= 0", cfg.LatencySeconds)
 			}
 		case "target":
 			switch val {
@@ -187,6 +190,13 @@ func Parse(spec string) (Config, error) {
 		if err != nil {
 			return cfg, err
 		}
+	}
+	// Canonicalize: latency seconds without a probability can never
+	// fire, and String omits the latency clause entirely when the
+	// probability is zero — dropping the dead seconds here keeps
+	// Parse(cfg.String()) == cfg (the fuzzed round-trip invariant).
+	if cfg.LatencyProb == 0 {
+		cfg.LatencySeconds = 0
 	}
 	return cfg, nil
 }
@@ -348,6 +358,7 @@ func (in *Injector) BeforePageIO(op storage.FaultOp, class storage.FileClass) (f
 	if in.cfg.PanicNth > 0 && in.st.Reads+in.st.Writes == in.cfg.PanicNth {
 		in.st.Panics++
 		in.met.Panics.Inc()
+		//lint:ignore errwrap sanctioned: the injected crash IS the fault being tested; the engine's recover boundary must contain it
 		panic(fmt.Sprintf("faultinject: scheduled panic at access %d (%s, %s file)",
 			in.cfg.PanicNth, op, class))
 	}

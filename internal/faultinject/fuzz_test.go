@@ -1,0 +1,87 @@
+package faultinject
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParse drives Parse with arbitrary specs and enforces two
+// invariants on every input the parser accepts:
+//
+//  1. Well-formedness: no NaN/Inf probabilities or latencies survive
+//     into the Config, probabilities stay in [0,1], and counts stay
+//     non-negative — a malformed schedule must be an error, never a
+//     silently-broken injector.
+//  2. Round-trip fixpoint: re-parsing cfg.String() reproduces cfg
+//     exactly, so a schedule logged by one run can be replayed
+//     verbatim by the next (the subsystem's whole point is
+//     deterministic reproduction).
+//
+// Historical catches, now seeds: "readerr=NaN" used to pass the
+// negated range check, and "latency=0:5" used to keep dead seconds
+// that String dropped, breaking the fixpoint.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"seed=7",
+		"seed=-3,readerr=0.01,writeerr=0.02,transient=0.5",
+		"latency=0.1:0.005,target=temp",
+		"latency=0:5",
+		"latency=1:0",
+		"readerr=NaN",
+		"readerr=+Inf",
+		"latency=0.5:+Inf",
+		"nthread=0,nthwrite=5,panicnth=2,max=3",
+		"target=base",
+		"target=bogus",
+		" seed = 9 , max = 1 ",
+		"readerr=1e-300",
+		"seed=9223372036854775807",
+		"max=-1",
+		"latency=0.5",
+		"=,,=",
+		"readerr=0.01,readerr=0.9",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		cfg, err := Parse(spec)
+		if err != nil {
+			return // rejection is always a valid outcome
+		}
+		for _, p := range []struct {
+			name string
+			v    float64
+		}{
+			{"ReadErrProb", cfg.ReadErrProb},
+			{"WriteErrProb", cfg.WriteErrProb},
+			{"TransientProb", cfg.TransientProb},
+			{"LatencyProb", cfg.LatencyProb},
+		} {
+			if !(p.v >= 0 && p.v <= 1) {
+				t.Fatalf("Parse(%q): %s=%v escaped [0,1]", spec, p.name, p.v)
+			}
+		}
+		if !(cfg.LatencySeconds >= 0) || math.IsInf(cfg.LatencySeconds, 1) {
+			t.Fatalf("Parse(%q): LatencySeconds=%v not finite and >= 0", spec, cfg.LatencySeconds)
+		}
+		if cfg.FailNthRead < 0 || cfg.FailNthWrite < 0 || cfg.PanicNth < 0 || cfg.MaxFaults < 0 {
+			t.Fatalf("Parse(%q): negative count in %+v", spec, cfg)
+		}
+
+		rendered := cfg.String()
+		again, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("Parse(%q).String() = %q does not re-parse: %v", spec, rendered, err)
+		}
+		if again != cfg {
+			t.Fatalf("round-trip mismatch for %q:\n first: %+v\n again: %+v\n via %q",
+				spec, cfg, again, rendered)
+		}
+		// String must itself be a fixpoint (canonical form).
+		if r2 := again.String(); r2 != rendered {
+			t.Fatalf("String not canonical for %q: %q then %q", spec, rendered, r2)
+		}
+	})
+}

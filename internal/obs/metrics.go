@@ -179,6 +179,7 @@ func (r *Registry) lookup(name, lk, lv, help string, kind Kind) *instrument {
 	id := seriesID(name, lk, lv)
 	if in, ok := r.byID[id]; ok {
 		if in.kind != kind {
+			//lint:ignore errwrap sanctioned: a kind collision on one series name is a wiring bug; failing fast beats silently merging two meanings
 			panic("obs: instrument " + id + " re-registered as " + string(kind) +
 				", previously registered as " + string(in.kind))
 		}

@@ -115,7 +115,7 @@ func ParsePrometheusText(text string) ([]Sample, error) {
 		series, valStr := line[:sp], line[sp+1:]
 		val, err := strconv.ParseFloat(valStr, 64)
 		if err != nil {
-			return nil, fmt.Errorf("obs: line %d: bad value %q: %v", lineNo+1, valStr, err)
+			return nil, fmt.Errorf("obs: line %d: bad value %q: %w", lineNo+1, valStr, err)
 		}
 		name := series
 		var lk, lv string
@@ -149,7 +149,7 @@ func ParsePrometheusText(text string) ([]Sample, error) {
 				}
 				le, err := parseLE(lv)
 				if err != nil {
-					return nil, fmt.Errorf("obs: line %d: %v", lineNo+1, err)
+					return nil, fmt.Errorf("obs: line %d: %w", lineNo+1, err)
 				}
 				h.Buckets = append(h.Buckets, Bucket{LE: le, Count: int64(val)})
 			case "sum":

@@ -339,6 +339,7 @@ func (d *Decomposition) attach(n plan.Node, s *Segment) {
 		d.attach(node.Left, s)
 		d.attach(node.Right, s)
 	default:
+		//lint:ignore errwrap sanctioned: plan-shape invariant checked at decomposition time; recovered at the DB.Exec boundary as *exec.InternalError
 		panic(fmt.Sprintf("segment: unknown plan node %T", n))
 	}
 }
@@ -355,6 +356,7 @@ func dominantInputs(s *Segment) []int {
 			if idx, ok := s.inputByNode[at]; ok {
 				return []int{idx}
 			}
+			//lint:ignore errwrap sanctioned: decomposition invariant (every scan is a segment input); recovered at the DB.Exec boundary
 			panic("segment: scan not registered as segment input")
 		case *plan.Filter:
 			at = node.Child
@@ -403,6 +405,7 @@ func dominantInputs(s *Segment) []int {
 			}
 			at = node.Left
 		default:
+			//lint:ignore errwrap sanctioned: dominant-input walk only sees nodes the decomposer placed; recovered at the DB.Exec boundary
 			panic(fmt.Sprintf("segment: dominant-input walk hit unexpected node %T", at))
 		}
 	}
@@ -415,6 +418,7 @@ func dominantInputs(s *Segment) []int {
 // to the estimated cost as estimates converge to truth.
 func (d *Decomposition) EvalSegment(s *Segment, inputs []Est) (out Est, costBytes float64) {
 	if len(inputs) != len(s.Inputs) {
+		//lint:ignore errwrap sanctioned: caller passes the segment's own input slice; recovered at the DB.Exec boundary
 		panic("segment: EvalSegment input arity mismatch")
 	}
 	cost := 0.0
@@ -434,6 +438,7 @@ func (d *Decomposition) EvalSegment(s *Segment, inputs []Est) (out Est, costByte
 		case *plan.SeqScan, *plan.IndexScan:
 			est, ok := inputEst(n, passMul)
 			if !ok {
+				//lint:ignore errwrap sanctioned: decomposition invariant (every scan is a segment input); recovered at the DB.Exec boundary
 				panic("segment: scan not registered as segment input")
 			}
 			return est
@@ -536,6 +541,7 @@ func (d *Decomposition) EvalSegment(s *Segment, inputs []Est) (out Est, costByte
 			}
 			return Est{Card: node.Sel * outer.Card, Width: outer.Width}
 		default:
+			//lint:ignore errwrap sanctioned: cost walk mirrors the decomposition walk above; recovered at the DB.Exec boundary
 			panic(fmt.Sprintf("segment: unknown node %T in EvalSegment", n))
 		}
 	}

@@ -2,6 +2,7 @@ package sqlparser
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -104,8 +105,21 @@ func (l IntLit) String() string { return fmt.Sprintf("%d", l.V) }
 // FloatLit is a floating-point literal.
 type FloatLit struct{ V float64 }
 
-func (FloatLit) sqlExpr()         {}
-func (l FloatLit) String() string { return fmt.Sprintf("%g", l.V) }
+func (FloatLit) sqlExpr() {}
+
+// String renders the literal in plain decimal notation ('f', shortest
+// exact form). %g would switch to exponent notation for small or large
+// magnitudes, which the lexer does not accept, breaking the
+// parse→print→parse fixpoint (found by FuzzParseStatement on
+// "0.0000001"). Large magnitudes print dotless under 'f'; the ".0"
+// suffix keeps them lexing as floats rather than out-of-range ints.
+func (l FloatLit) String() string {
+	s := strconv.FormatFloat(l.V, 'f', -1, 64)
+	if !strings.Contains(s, ".") {
+		s += ".0"
+	}
+	return s
+}
 
 // StrLit is a string literal.
 type StrLit struct{ V string }

@@ -35,6 +35,20 @@ type Statement struct {
 	Select *SelectStmt
 }
 
+// String renders the statement back to SQL. The rendering is a print
+// fixpoint: ParseStatement(st.String()) yields a statement that prints
+// identically (fuzzed in FuzzParseStatement).
+func (st *Statement) String() string {
+	prefix := ""
+	if st.Explain {
+		prefix = "EXPLAIN "
+		if st.Analyze {
+			prefix = "EXPLAIN ANALYZE "
+		}
+	}
+	return prefix + st.Select.String()
+}
+
 // ParseStatement parses one top-level statement, accepting an optional
 // EXPLAIN [ANALYZE] prefix before the SELECT.
 func ParseStatement(src string) (*Statement, error) {

@@ -137,6 +137,7 @@ type frame struct {
 // NewBufferPool creates a pool of capacity pages over disk.
 func NewBufferPool(disk *Disk, capacity int) *BufferPool {
 	if capacity < 1 {
+		//lint:ignore errwrap sanctioned: constructor misuse is a wiring bug, not a runtime condition; fail fast at startup
 		panic("storage: buffer pool capacity must be >= 1")
 	}
 	return &BufferPool{

@@ -187,6 +187,7 @@ func (c *Clock) UnitsOf(kind WorkKind) float64 { return c.units[kind] }
 // period from now. It returns the ticker so it can be removed.
 func (c *Clock) AddTicker(period float64, fn func(now float64)) *Ticker {
 	if period <= 0 {
+		//lint:ignore errwrap sanctioned: a non-positive period would spin the virtual clock forever; programmer error at wiring time
 		panic("vclock: non-positive ticker period")
 	}
 	t := &Ticker{period: period, next: c.now + period, fn: fn}

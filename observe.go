@@ -46,7 +46,7 @@ func (db *DB) wireMetrics(pool *storage.BufferPool, disk *storage.Disk) {
 	})
 	db.execMet = exec.NewMetrics(reg)
 	db.refine = core.NewRefinementMetrics(reg)
-	db.queries = reg.Counter("queries_total", "queries executed to completion")
+	db.queries = reg.Counter("engine_queries_total", "queries executed to completion")
 }
 
 // MetricsEnabled reports whether the engine-wide registry is active.

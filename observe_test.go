@@ -50,7 +50,7 @@ func TestMetricsSnapshotInstruments(t *testing.T) {
 	// Core instruments must exist and the hot-path counters must have moved.
 	for _, want := range []string{
 		"bufferpool_hits_total", "bufferpool_misses_total",
-		"disk_seq_reads_total", "queries_total",
+		"disk_seq_reads_total", "engine_queries_total",
 		"indicator_refreshes_total", "indicator_segment_p",
 		"exec_rows_out_total", "vclock_seconds", "progress_refresh_u",
 	} {
@@ -58,8 +58,8 @@ func TestMetricsSnapshotInstruments(t *testing.T) {
 			t.Errorf("missing instrument %q", want)
 		}
 	}
-	if s := byID["queries_total"]; s.Value != 1 {
-		t.Errorf("queries_total = %v, want 1", s.Value)
+	if s := byID["engine_queries_total"]; s.Value != 1 {
+		t.Errorf("engine_queries_total = %v, want 1", s.Value)
 	}
 	if s := byID["bufferpool_misses_total"]; s.Value <= 0 {
 		t.Errorf("bufferpool_misses_total = %v, want > 0", s.Value)

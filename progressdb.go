@@ -159,6 +159,7 @@ func Open(cfg Config) *DB {
 	}
 	if cfg.FaultSpec != "" {
 		if err := db.SetFaultSpec(cfg.FaultSpec); err != nil {
+			//lint:ignore errwrap sanctioned: New is Must-style by contract; SetFaultSpec is the error-returning path
 			panic(err) // Must-style: use SetFaultSpec to handle the error
 		}
 	}
@@ -220,6 +221,7 @@ func (db *DB) CreateTable(name string, cols ...Column) error {
 // MustCreateTable is CreateTable that panics on error.
 func (db *DB) MustCreateTable(name string, cols ...Column) {
 	if err := db.CreateTable(name, cols...); err != nil {
+		//lint:ignore errwrap sanctioned: Must-style helper panics by documented contract
 		panic(err)
 	}
 }
@@ -252,6 +254,7 @@ func (db *DB) Insert(table string, values ...interface{}) error {
 // MustInsert is Insert that panics on error.
 func (db *DB) MustInsert(table string, values ...interface{}) {
 	if err := db.Insert(table, values...); err != nil {
+		//lint:ignore errwrap sanctioned: Must-style helper panics by documented contract
 		panic(err)
 	}
 }
