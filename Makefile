@@ -1,6 +1,6 @@
 # Developer entry points; `make check` is what CI runs.
 
-.PHONY: check test build vet fmt lint fuzz bench-obs chaos
+.PHONY: check test build vet fmt lint fuzz bench-obs bench-snapshot chaos dash
 
 check:
 	./ci.sh
@@ -39,3 +39,13 @@ chaos:
 # "< 1% penalty" budget).
 bench-obs:
 	go test . -run XXX -bench 'BenchmarkObs(Disabled|Enabled)' -benchtime 50x
+
+# Refresh the committed observability-overhead baseline. Review the
+# BENCH_obs.json diff like code: a regression here is a hot-path change.
+bench-snapshot:
+	go test . -run XXX -bench 'BenchmarkObs(Disabled|Enabled)' -benchtime 50x -benchmem \
+		| go run ./cmd/benchsnap > BENCH_obs.json
+
+# Run the daemon with the embedded dashboard on the default port.
+dash:
+	go run ./cmd/progressd -addr 127.0.0.1:8080 -debug-addr 127.0.0.1:6060

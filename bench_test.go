@@ -13,6 +13,7 @@ package progressdb
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"progressdb/internal/core"
@@ -266,10 +267,40 @@ func benchObsQuery(b *testing.B, cfg Config) {
 	if _, err := db.ExecDiscard(twoJoinSQL, nil); err != nil { // warm
 		b.Fatal(err)
 	}
+	tuples := obsQueryTuples(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := db.ExecDiscard(twoJoinSQL, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
+	b.StopTimer()
+	// ns/tuple normalizes the comparison by the query's fixed operator
+	// traffic, so the obs on/off delta reads as per-tuple overhead.
+	if tuples > 0 && b.N > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/tuples, "ns/tuple")
+	}
+}
+
+var (
+	obsTuplesOnce sync.Once
+	obsTuples     float64
+)
+
+// obsQueryTuples counts the tuples every operator of twoJoinSQL emits,
+// measured once on a metrics-enabled engine (the count is deterministic:
+// same data, same plan, virtual clock).
+func obsQueryTuples(b *testing.B) float64 {
+	obsTuplesOnce.Do(func() {
+		db := loadObsWorkload(b, Config{WorkMemPages: 16, Metrics: true})
+		if _, err := db.ExecDiscard(twoJoinSQL, nil); err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range db.Metrics() {
+			if s.Name == "exec_rows_out_total" {
+				obsTuples += s.Value
+			}
+		}
+	})
+	return obsTuples
 }

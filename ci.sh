@@ -46,8 +46,13 @@ go test -run FuzzParseStatement -fuzz FuzzParseStatement -fuzztime 10s ./interna
 
 echo "== progressd smoke =="
 # End to end on an ephemeral port: submit a query, stream one SSE
-# progress event, cancel it mid-flight, verify the server metrics,
-# shut down cleanly.
+# progress event, cancel it mid-flight, verify the server metrics, run
+# a second query to completion, then exercise the observability plane —
+# GET / (embedded dashboard), /api/timeseries (>= 10 series with
+# windowed points), /api/history/{id} (the finished query's profile),
+# and the -debug-addr surface (/debug/pprof/cmdline, /debug/runtime) —
+# before shutting down cleanly. Each check asserts a 200 and, for the
+# JSON endpoints, a well-formed decoded body.
 "$bindir"/progressd -smoke
 
 echo "== fault-matrix smoke =="

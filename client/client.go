@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
 )
 
@@ -24,6 +26,10 @@ type Client struct {
 func New(base string) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
 }
+
+// BaseURL returns the server base URL the client was built with,
+// normalized (no trailing slash).
+func (c *Client) BaseURL() string { return c.base }
 
 // APIError is a non-2xx server response.
 type APIError struct {
@@ -159,6 +165,70 @@ func (c *Client) MetricsText(ctx context.Context) (string, error) {
 	}
 	data, err := io.ReadAll(resp.Body)
 	return string(data), err
+}
+
+// TimeseriesRequest parameterizes Timeseries. The zero value asks for
+// every series over the server's default window at its default point
+// budget.
+type TimeseriesRequest struct {
+	// Metrics restricts the response to these series IDs (empty = all).
+	Metrics []string
+	// WindowSeconds bounds the window ending now (0 = server default).
+	WindowSeconds float64
+	// MaxPoints caps points per series after downsampling (0 = server
+	// default).
+	MaxPoints int
+}
+
+// Timeseries fetches windowed, downsampled metric series from
+// GET /api/timeseries.
+func (c *Client) Timeseries(ctx context.Context, req TimeseriesRequest) (TimeseriesResponse, error) {
+	q := url.Values{}
+	if len(req.Metrics) > 0 {
+		q.Set("metrics", strings.Join(req.Metrics, ","))
+	}
+	if req.WindowSeconds > 0 {
+		q.Set("window", strconv.FormatFloat(req.WindowSeconds, 'g', -1, 64))
+	}
+	if req.MaxPoints > 0 {
+		q.Set("points", strconv.Itoa(req.MaxPoints))
+	}
+	path := "/api/timeseries"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var out TimeseriesResponse
+	err := c.do(ctx, http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// History fetches the completed-query listing from GET /api/history.
+// sort is "finished" (newest-terminal-first, the default when empty),
+// "duration", or "qerror"; limit caps the number of summaries (0 = all
+// retained).
+func (c *Client) History(ctx context.Context, sort string, limit int) (HistoryResponse, error) {
+	q := url.Values{}
+	if sort != "" {
+		q.Set("sort", sort)
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	path := "/api/history"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var out HistoryResponse
+	err := c.do(ctx, http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// HistoryProfile fetches one terminal query's full retained profile
+// from GET /api/history/{id} (404 once evicted or never terminal).
+func (c *Client) HistoryProfile(ctx context.Context, id string) (QueryProfile, error) {
+	var out QueryProfile
+	err := c.do(ctx, http.MethodGet, "/api/history/"+id, nil, &out)
+	return out, err
 }
 
 // ErrStop stops a Stream early from inside the callback without

@@ -1,0 +1,112 @@
+// Command benchsnap converts `go test -bench` output on stdin into a
+// stable JSON snapshot on stdout. The repository commits the result
+// (e.g. BENCH_obs.json, via `make bench-snapshot`) so the observability
+// layer's overhead — ops/s, ns/tuple, allocs/op, enabled vs disabled —
+// has a reviewed baseline: a PR that regresses the hot path shows up as
+// a diff in a checked-in file, not a memory of what the numbers used to
+// be.
+//
+// Usage:
+//
+//	go test . -bench 'BenchmarkObs' -benchmem | benchsnap > BENCH_obs.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Bench is one benchmark line, parsed.
+type Bench struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped.
+	Name string `json:"name"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the headline wall time per iteration.
+	NsPerOp float64 `json:"ns_per_op"`
+	// OpsPerSec is derived: 1e9 / NsPerOp.
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// Metrics holds every other reported unit (allocs/op, B/op,
+	// ns/tuple, custom b.ReportMetric units) keyed by unit string.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is the file layout.
+type Snapshot struct {
+	// GoVersion and GOARCH pin the toolchain the numbers came from;
+	// compare like with like.
+	GoVersion string  `json:"go_version"`
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	Benches   []Bench `json:"benchmarks"`
+}
+
+func main() {
+	snap := Snapshot{GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		if b, ok := parseLine(sc.Text()); ok {
+			snap.Benches = append(snap.Benches, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+	if len(snap.Benches) == 0 {
+		fmt.Fprintln(os.Stderr, "benchsnap: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	sort.Slice(snap.Benches, func(i, j int) bool { return snap.Benches[i].Name < snap.Benches[j].Name })
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one `BenchmarkX-8  N  v unit  v unit ...` line.
+func parseLine(line string) (Bench, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Bench{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Bench{}, false
+	}
+	b := Bench{Name: name, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Bench{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			b.NsPerOp = v
+			if v > 0 {
+				b.OpsPerSec = 1e9 / v
+			}
+			continue
+		}
+		b.Metrics[unit] = v
+	}
+	if len(b.Metrics) == 0 {
+		b.Metrics = nil
+	}
+	return b, b.NsPerOp > 0
+}

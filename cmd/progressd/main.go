@@ -43,7 +43,11 @@ func main() {
 	metrics := flag.Bool("metrics", true, "enable the engine metrics registry")
 	fault := flag.String("fault", "", "chaos-testing fault spec, e.g. seed=7,readerr=0.01,transient=0.5,target=temp (see DESIGN.md)")
 	queryTimeout := flag.Duration("query-timeout", 0, "per-query wall-clock deadline (0 = none); expired queries fail with a timeout error")
-	smoke := flag.Bool("smoke", false, "run the self-test (submit, stream, cancel, clean shutdown) and exit")
+	sample := flag.Duration("sample-interval", time.Second, "timeseries sampler cadence behind /api/timeseries (negative disables)")
+	histDepth := flag.Int("history-depth", 256, "completed-query profiles retained behind /api/history")
+	keepAlive := flag.Duration("keepalive", 15*time.Second, "SSE idle keep-alive interval (negative disables pings)")
+	debugAddr := flag.String("debug-addr", "", "optional listen address for /debug/pprof and /debug/runtime (e.g. 127.0.0.1:6060); empty disables")
+	smoke := flag.Bool("smoke", false, "run the self-test (submit, stream, cancel, dashboard + observability API checks, clean shutdown) and exit")
 	flag.Parse()
 
 	if _, err := faultinject.Parse(*fault); err != nil {
@@ -78,14 +82,35 @@ func main() {
 		os.Exit(1)
 	}
 
-	srv := server.New(db, server.Config{Workers: *workers, QueueDepth: *queue, QueryTimeout: *queryTimeout})
+	srv := server.New(db, server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		QueryTimeout:   *queryTimeout,
+		SampleInterval: *sample,
+		HistoryDepth:   *histDepth,
+		KeepAlive:      *keepAlive,
+	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "progressd:", err)
 		os.Exit(1)
 	}
 	hs := &http.Server{Handler: srv.Handler()}
-	fmt.Printf("progressd: listening on http://%s\n", ln.Addr())
+	fmt.Printf("progressd: listening on http://%s (dashboard at /)\n", ln.Addr())
+
+	// The debug surface (pprof, runtime metrics) gets its own listener so
+	// it can stay loopback-only while the query API is exposed.
+	var dhs *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "progressd: -debug-addr:", err)
+			os.Exit(1)
+		}
+		dhs = &http.Server{Handler: server.DebugHandler()}
+		fmt.Printf("progressd: debug surface on http://%s/debug/pprof/\n", dln.Addr())
+		go dhs.Serve(dln)
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
@@ -101,6 +126,9 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	hs.Shutdown(ctx)
+	if dhs != nil {
+		dhs.Shutdown(ctx)
+	}
 	srv.Close()
 }
 
@@ -129,7 +157,11 @@ func runSmoke() error {
 		return err
 	}
 
-	srv := server.New(db, server.Config{Workers: 1, QueueDepth: 4})
+	srv := server.New(db, server.Config{
+		Workers:        1,
+		QueueDepth:     4,
+		SampleInterval: 25 * time.Millisecond, // fast sampler: the smoke run is seconds long
+	})
 	defer srv.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -192,6 +224,20 @@ func runSmoke() error {
 			return fmt.Errorf("/metrics missing %q", want)
 		}
 	}
+
+	// Run a second query to completion so the observability plane has a
+	// finished profile to serve.
+	sub2, err := cl.Submit(ctx, client.SubmitRequest{SQL: "select count(*) from t", Name: "smoke2"})
+	if err != nil {
+		return fmt.Errorf("submit 2: %w", err)
+	}
+	if err := cl.Stream(ctx, sub2.ID, func(client.ProgressEvent) error { return nil }); err != nil {
+		return fmt.Errorf("stream 2: %w", err)
+	}
+	if err := smokeObservability(ctx, cl, "http://"+ln.Addr().String(), sub2.ID); err != nil {
+		return err
+	}
+
 	shCtx, shCancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer shCancel()
 	if err := hs.Shutdown(shCtx); err != nil {
@@ -199,4 +245,102 @@ func runSmoke() error {
 	}
 	srv.Close()
 	return nil
+}
+
+// smokeObservability exercises the observability plane end to end: the
+// embedded dashboard page, the timeseries and history APIs (via the
+// typed client), and the pprof/runtime debug surface.
+func smokeObservability(ctx context.Context, cl *client.Client, base, doneID string) error {
+	// Embedded dashboard: served at /, self-contained HTML.
+	page, err := httpGet(ctx, base+"/")
+	if err != nil {
+		return fmt.Errorf("dashboard: %w", err)
+	}
+	if !strings.Contains(page, "<title>progressd</title>") {
+		return fmt.Errorf("dashboard page missing title")
+	}
+	fmt.Printf("progressd smoke: dashboard served (%d bytes)\n", len(page))
+
+	// Timeseries: the 25 ms sampler has been running the whole smoke;
+	// give it a beat and require real windows for engine + server series.
+	time.Sleep(100 * time.Millisecond)
+	tsr, err := cl.Timeseries(ctx, client.TimeseriesRequest{WindowSeconds: 60})
+	if err != nil {
+		return fmt.Errorf("timeseries: %w", err)
+	}
+	withPoints := 0
+	for _, s := range tsr.Series {
+		if len(s.Points) > 0 {
+			withPoints++
+		}
+	}
+	if withPoints < 10 {
+		return fmt.Errorf("timeseries: %d series with points, want >= 10", withPoints)
+	}
+	fmt.Printf("progressd smoke: timeseries serving %d series\n", withPoints)
+
+	// History: both queries are terminal; the completed one must replay
+	// its full profile with segments.
+	hr, err := cl.History(ctx, "", 0)
+	if err != nil {
+		return fmt.Errorf("history: %w", err)
+	}
+	if hr.Retained < 2 {
+		return fmt.Errorf("history retained = %d, want >= 2", hr.Retained)
+	}
+	prof, err := cl.HistoryProfile(ctx, doneID)
+	if err != nil {
+		return fmt.Errorf("history profile: %w", err)
+	}
+	if len(prof.Events) == 0 || prof.Query.State != client.StateDone {
+		return fmt.Errorf("history profile incomplete: state %s, %d events", prof.Query.State, len(prof.Events))
+	}
+	fmt.Printf("progressd smoke: history profile %s: %d events, %d segments\n",
+		doneID, len(prof.Events), len(prof.Segments))
+
+	// Debug surface on its own listener, like -debug-addr mounts it.
+	dln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	dhs := &http.Server{Handler: server.DebugHandler()}
+	go dhs.Serve(dln)
+	defer dhs.Close()
+	dbase := "http://" + dln.Addr().String()
+	if _, err := httpGet(ctx, dbase+"/debug/pprof/cmdline"); err != nil {
+		return fmt.Errorf("pprof cmdline: %w", err)
+	}
+	if body, err := httpGet(ctx, dbase+"/debug/runtime"); err != nil {
+		return fmt.Errorf("runtime metrics: %w", err)
+	} else if !strings.Contains(body, "/gc/") {
+		return fmt.Errorf("runtime metrics dump missing /gc/ entries")
+	}
+	fmt.Println("progressd smoke: debug surface ok")
+	return nil
+}
+
+// httpGet fetches a URL, requiring a 200, and returns the body.
+func httpGet(ctx context.Context, url string) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return sb.String(), nil
 }

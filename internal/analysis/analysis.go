@@ -46,6 +46,14 @@ type Analyzer struct {
 	// aborts the whole lint run (reserved for internal failures, not
 	// findings).
 	Run func(pass *Pass) error
+	// End, when non-nil, is invoked once after every package's Run,
+	// with a package-less Pass (Files/Path/Pkg/TypesInfo are zero; Fset
+	// and State are the run's). It is where module-wide facts
+	// accumulated in State are resolved — e.g. obsnames checking that
+	// every referenced series name was registered *somewhere*, which no
+	// single package's Run can decide. Report positions recorded during
+	// Run; the shared Fset resolves them.
+	End func(pass *Pass) error
 }
 
 // Pass carries one package's syntax and types to an Analyzer.
@@ -136,6 +144,15 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnos
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
 			}
+		}
+	}
+	for _, a := range analyzers {
+		if a.End == nil {
+			continue
+		}
+		pass := &Pass{Analyzer: a, Fset: fset, State: state, diags: &raw}
+		if err := a.End(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s end: %w", a.Name, err)
 		}
 	}
 

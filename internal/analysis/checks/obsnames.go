@@ -20,12 +20,20 @@ import (
 // panics at runtime on a kind collision, and silently aliases two
 // call sites that pick the same name for different meanings. This
 // analyzer moves both failure modes to lint time, module-wide.
+// The analyzer also resolves *references*: any series name marked with
+// tsdb.Ref — the dashboard's sparkline list, the profile counter set —
+// must be registered somewhere in the module (directly, or as the
+// _count/_sum series derived from a registered histogram). Registrations
+// are collected per package and references resolved in the End hook,
+// so a reference may legally precede its registration in visit order.
 var Obsnames = &analysis.Analyzer{
 	Name: "obsnames",
 	Doc: "obs registry metric names must be literal snake_case strings " +
 		"with a known subsystem prefix and no duplicate registrations " +
-		"across the module",
+		"across the module; tsdb.Ref-marked series references must " +
+		"resolve to a registration",
 	Run: runObsnames,
+	End: endObsnames,
 }
 
 // knownSubsystems are the approved metric name prefixes (the segment
@@ -66,6 +74,14 @@ type obsSeen struct {
 
 const obsStateKey = "obsnames.seen"
 
+// obsRef is one tsdb.Ref call site awaiting module-wide resolution.
+type obsRef struct {
+	name string
+	pos  token.Pos
+}
+
+const obsRefsKey = "obsnames.refs"
+
 func runObsnames(pass *analysis.Pass) error {
 	seen, _ := pass.State.Get(obsStateKey).(map[string]obsSeen)
 	if seen == nil {
@@ -80,6 +96,10 @@ func runObsnames(pass *analysis.Pass) error {
 			}
 			sel, ok := call.Fun.(*ast.SelectorExpr)
 			if !ok {
+				return true
+			}
+			if isTsdbRef(pass, sel) && len(call.Args) == 1 {
+				collectRef(pass, call)
 				return true
 			}
 			labeled, isReg := registryMethods[sel.Sel.Name]
@@ -141,6 +161,74 @@ func checkMetricName(pass *analysis.Pass, lit *ast.BasicLit, method, name string
 		return
 	}
 	seen[name] = obsSeen{pos: pass.Fset.Position(lit.Pos()), labeled: labeled}
+}
+
+// collectRef records one tsdb.Ref("...") site for End-time resolution,
+// reporting immediately when the argument is not a literal (a computed
+// reference can't be resolved at lint time, which defeats the marker's
+// whole purpose).
+func collectRef(pass *analysis.Pass, call *ast.CallExpr) {
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		pass.Reportf(call.Args[0].Pos(),
+			"series name passed to tsdb.Ref must be a literal string "+
+				"(Ref exists so the reference can be lint-resolved against registrations)")
+		return
+	}
+	name, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	refs, _ := pass.State.Get(obsRefsKey).([]obsRef)
+	pass.State.Set(obsRefsKey, append(refs, obsRef{name: name, pos: lit.Pos()}))
+}
+
+// endObsnames resolves every collected tsdb.Ref against the module-wide
+// registration set: a reference must name a registered metric (label
+// selectors stripped), or the _count/_sum series derived from a
+// registered histogram.
+func endObsnames(pass *analysis.Pass) error {
+	seen, _ := pass.State.Get(obsStateKey).(map[string]obsSeen)
+	refs, _ := pass.State.Get(obsRefsKey).([]obsRef)
+	for _, r := range refs {
+		name := r.name
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		if _, ok := seen[name]; ok {
+			continue
+		}
+		if base, ok := trimDerived(name); ok {
+			if _, ok := seen[base]; ok {
+				continue
+			}
+		}
+		pass.Reportf(r.pos,
+			"tsdb.Ref(%q) references a metric series nothing in the module registers "+
+				"(a dashboard or sampler list naming an unregistered series renders "+
+				"forever-empty panels; register the metric or fix the name)", r.name)
+	}
+	return nil
+}
+
+// trimDerived strips the histogram-derived _count/_sum suffix.
+func trimDerived(name string) (string, bool) {
+	for _, suffix := range []string{"_count", "_sum"} {
+		if strings.HasSuffix(name, suffix) {
+			return name[:len(name)-len(suffix)], true
+		}
+	}
+	return name, false
+}
+
+// isTsdbRef reports whether sel resolves to the Ref function of
+// progressdb/internal/obs/tsdb (robust to import aliasing).
+func isTsdbRef(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	if sel.Sel.Name != "Ref" {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "progressdb/internal/obs/tsdb"
 }
 
 // isObsRegistry reports whether expr's static type is

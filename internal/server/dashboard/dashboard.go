@@ -1,0 +1,34 @@
+// Package dashboard embeds progressd's web UI: a single self-contained
+// HTML page (no external assets, no build step, no third-party
+// JavaScript) served at /. It renders live per-query progress bars from
+// the same SSE wire format the Go client consumes, metric sparklines
+// from /api/timeseries, and completed-query drill-downs from
+// /api/history — the paper's Figure 2 indicator, on a web page instead
+// of a terminal.
+//
+// Embedding the page keeps the daemon a single static binary: `go build`
+// is the whole deployment story, and the dashboard can never be
+// version-skewed against the API it talks to.
+package dashboard
+
+import (
+	"embed"
+	"net/http"
+)
+
+//go:embed index.html
+var content embed.FS
+
+// Handler serves the embedded dashboard page.
+func Handler() http.Handler {
+	page, err := content.ReadFile("index.html")
+	if err != nil {
+		//lint:ignore errwrap go:embed guarantees the file compiled in; a read failure is a build-system invariant violation, not a runtime condition
+		panic(err)
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Header().Set("Cache-Control", "no-cache")
+		w.Write(page)
+	})
+}

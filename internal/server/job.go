@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"sync"
 	"time"
 
@@ -34,6 +35,7 @@ type job struct {
 	state     client.State
 	err       error
 	res       *progressdb.Result
+	counters  map[string]float64
 	seq       int
 	history   []client.ProgressEvent
 	subs      map[int]*subscriber
@@ -181,6 +183,97 @@ func (j *job) info(queuePos int) client.QueryInfo {
 	return qi
 }
 
+// setCounters records the engine counter deltas attributable to this
+// job's execution, for its history profile. Called by the worker between
+// the executor returning and finish().
+func (j *job) setCounters(c map[string]float64) {
+	j.mu.Lock()
+	j.counters = c
+	j.mu.Unlock()
+}
+
+// profile freezes the terminal job into its history record: the final
+// lifecycle snapshot, the complete progress-event ledger, and — for
+// queries that ran to completion — the per-segment estimated-vs-actual
+// figures, the remaining-time q-error trajectory, and the trace span
+// tree. The result must not be mutated afterwards (the history store
+// shares it across readers).
+func (j *job) profile() *client.QueryProfile {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	p := &client.QueryProfile{
+		Query: client.QueryInfo{
+			ID:            j.id,
+			Name:          j.name,
+			SQL:           j.sql,
+			State:         j.state,
+			SubmittedAtMS: j.submitted.UnixMilli(),
+		},
+		Events:   append([]client.ProgressEvent(nil), j.history...),
+		Counters: j.counters,
+	}
+	if !j.started.IsZero() {
+		p.Query.StartedAtMS = j.started.UnixMilli()
+	}
+	if !j.finished.IsZero() {
+		p.Query.FinishedAtMS = j.finished.UnixMilli()
+	}
+	if j.err != nil {
+		p.Query.Error = j.err.Error()
+	}
+	if j.res == nil || j.state != client.StateDone {
+		return p
+	}
+	res := j.res
+	p.Query.VirtualSeconds = res.VirtualSeconds
+	p.Query.RowCount = res.RowCount()
+	p.Segments = make([]client.SegmentProfile, 0, len(res.Segments))
+	for _, seg := range res.Segments {
+		p.Segments = append(p.Segments, client.SegmentProfile{
+			Index:        seg.Index,
+			Root:         seg.Root,
+			EstCostU:     seg.EstCostU,
+			ActualCostU:  seg.ActualCostU,
+			EstRows:      seg.EstRows,
+			ActualRows:   seg.ActualRows,
+			QError:       qError(seg.EstRows, seg.ActualRows),
+			StartSeconds: seg.StartSeconds,
+			EndSeconds:   seg.EndSeconds,
+			Done:         seg.Done,
+		})
+	}
+	// Score the remaining-time estimate at each non-terminal refresh
+	// against what actually remained — computable only now that the true
+	// total virtual duration is known.
+	for _, ev := range p.Events {
+		if ev.Terminal() {
+			break
+		}
+		actual := res.VirtualSeconds - ev.ElapsedSeconds
+		p.RemainingQError = append(p.RemainingQError, qError(ev.RemainingSeconds, actual))
+	}
+	if res.Trace != nil {
+		if data, err := json.Marshal(res.Trace); err == nil {
+			p.Trace = data
+		}
+	}
+	return p
+}
+
+// qError is the estimator-quality metric max(est/actual, actual/est),
+// or -1 where undefined (either side missing, zero, or negative —
+// e.g. an unknown remaining time encoded as -1, or the final segment's
+// unobserved output rows).
+func qError(est, actual float64) float64 {
+	if est <= 0 || actual <= 0 {
+		return -1
+	}
+	if est > actual {
+		return est / actual
+	}
+	return actual / est
+}
+
 // state returns the current lifecycle state.
 func (j *job) currentState() client.State {
 	j.mu.Lock()
@@ -239,6 +332,27 @@ func (s *subscriber) wait(ctx context.Context) (evs []client.ProgressEvent, ok b
 		case <-s.wake:
 		case <-ctx.Done():
 			return nil, false
+		}
+	}
+}
+
+// waitKeepAlive is wait with an idle bound: if no event arrives within d
+// it returns (nil, true, true), telling the SSE handler to emit a
+// keep-alive comment and wait again. ok=false still means the context
+// ended.
+func (s *subscriber) waitKeepAlive(ctx context.Context, d time.Duration) (evs []client.ProgressEvent, ok, ping bool) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	for {
+		if evs := s.drain(); len(evs) > 0 {
+			return evs, true, false
+		}
+		select {
+		case <-s.wake:
+		case <-t.C:
+			return nil, true, true
+		case <-ctx.Done():
+			return nil, false, false
 		}
 	}
 }

@@ -1,0 +1,309 @@
+// Observability plane: the wall-clock sampler feeding the in-process
+// timeseries store, per-query engine-counter attribution, terminal
+// profile capture into the history store, and the /api handlers the
+// embedded dashboard consumes.
+package server
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	rtmetrics "runtime/metrics"
+	"strconv"
+	"strings"
+	"time"
+
+	"progressdb/client"
+	"progressdb/internal/obs"
+	"progressdb/internal/obs/tsdb"
+	"progressdb/internal/server/history"
+)
+
+// dashboardSeries are the series IDs the embedded dashboard's sparkline
+// panel plots by default. Every entry goes through tsdb.Ref so the
+// obsnames analyzer cross-checks it against the module's actual metric
+// registrations — a typo here fails lint, not silently renders an empty
+// chart.
+var dashboardSeries = []string{
+	tsdb.Ref("server_queue_depth"),
+	tsdb.Ref("server_queries_running"),
+	tsdb.Ref("server_sse_subscribers"),
+	tsdb.Ref("server_queries_admitted_total"),
+	tsdb.Ref("server_queries_rejected_total"),
+	tsdb.Ref("server_progress_events_total"),
+	tsdb.Ref("server_query_wall_seconds_count"),
+	tsdb.Ref("engine_queries_total"),
+	tsdb.Ref("bufferpool_hits_total"),
+	tsdb.Ref("bufferpool_misses_total"),
+	tsdb.Ref("disk_seq_reads_total"),
+	tsdb.Ref("vclock_seconds"),
+}
+
+// profileCounters are the engine counter families whose per-query deltas
+// are attached to history profiles. The engine semaphore is held for the
+// whole execution, so post-minus-pre deltas are exactly one query's
+// doing. Ref-checked like the dashboard list.
+var profileCounters = map[string]bool{
+	tsdb.Ref("bufferpool_hits_total"):              true,
+	tsdb.Ref("bufferpool_misses_total"):            true,
+	tsdb.Ref("bufferpool_evictions_total"):         true,
+	tsdb.Ref("bufferpool_dirty_writebacks_total"):  true,
+	tsdb.Ref("disk_seq_reads_total"):               true,
+	tsdb.Ref("disk_rand_reads_total"):              true,
+	tsdb.Ref("disk_seq_writes_total"):              true,
+	tsdb.Ref("disk_rand_writes_total"):             true,
+	tsdb.Ref("storage_io_retries_total"):           true,
+	tsdb.Ref("storage_io_retry_giveups_total"):     true,
+	tsdb.Ref("faultinject_read_faults_total"):      true,
+	tsdb.Ref("faultinject_write_faults_total"):     true,
+	tsdb.Ref("faultinject_transient_faults_total"): true,
+	tsdb.Ref("faultinject_latency_events_total"):   true,
+	tsdb.Ref("faultinject_panics_total"):           true,
+	tsdb.Ref("indicator_refreshes_total"):          true,
+	tsdb.Ref("indicator_segments_completed_total"): true,
+	tsdb.Ref("indicator_dominant_switches_total"):  true,
+	tsdb.Ref("exec_rows_out_total"):                true,
+}
+
+// ---- sampler ---------------------------------------------------------
+
+// sampler is the daemon-mode timeseries feed: every SampleInterval it
+// snapshots the instruments and records one point per series, stamped
+// with wall-clock time. Tests run with SampleInterval < 0 and drive
+// sampleOnce directly with virtual timestamps instead.
+func (s *Server) sampler() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.SampleInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.sampleOnce(float64(time.Now().UnixNano()) / 1e9)
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// sampleOnce records one sampler pass at time now (seconds). When the
+// engine is idle it is snapshotted in full — virtual-clock gauges synced
+// — exactly like /metrics; while a query holds the engine only the
+// registry's atomic instruments are read, so sampling never blocks on
+// (or races with) execution.
+func (s *Server) sampleOnce(now float64) {
+	var samples []obs.Sample
+	select {
+	case s.engine <- struct{}{}:
+		samples = s.db.Metrics()
+		<-s.engine
+		if !s.met.shared {
+			samples = append(s.met.reg.Snapshot(), samples...)
+		}
+	default:
+		samples = s.met.reg.Snapshot()
+	}
+	s.ts.Record(now, samples)
+	s.lastSample.Store(math.Float64bits(now))
+	s.met.samples.Inc()
+}
+
+// sampleNow returns the most recent sample timestamp (0 before the first
+// pass) — the /api/timeseries notion of "now".
+func (s *Server) sampleNow() float64 {
+	return math.Float64frombits(s.lastSample.Load())
+}
+
+// ---- per-query counter attribution -----------------------------------
+
+// counterBaseline snapshots the profile-relevant counters by series ID.
+// A nil registry (engine metrics off) yields an empty baseline and thus
+// profiles without counters.
+func counterBaseline(reg *obs.Registry) map[string]float64 {
+	out := make(map[string]float64)
+	for _, sm := range reg.Snapshot() {
+		if sm.Kind == obs.KindCounter && profileCounters[sm.Name] {
+			out[sm.ID()] = sm.Value
+		}
+	}
+	return out
+}
+
+// counterDeltas returns the counters that moved since before, keyed by
+// series ID. Nil when nothing moved (the common fault-free case keeps
+// profiles small).
+func counterDeltas(before map[string]float64, reg *obs.Registry) map[string]float64 {
+	var out map[string]float64
+	for _, sm := range reg.Snapshot() {
+		if sm.Kind != obs.KindCounter || !profileCounters[sm.Name] {
+			continue
+		}
+		if d := sm.Value - before[sm.ID()]; d > 0 {
+			if out == nil {
+				out = make(map[string]float64)
+			}
+			out[sm.ID()] = d
+		}
+	}
+	return out
+}
+
+// retire captures a freshly terminal job's profile into the history
+// store. Callers invoke it exactly once per job, right after the
+// finish() call that performed the terminal transition returned true.
+func (s *Server) retire(j *job) {
+	s.hist.Add(j.profile())
+	s.met.profiles.Inc()
+	s.met.retained.Set(float64(s.hist.Len()))
+}
+
+// ---- /api handlers ---------------------------------------------------
+
+func (s *Server) handleTimeseries(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	window := 300.0
+	if v := q.Get("window"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f <= 0 {
+			writeErr(w, http.StatusBadRequest, "window must be a positive number of seconds")
+			return
+		}
+		window = f
+	}
+	points := 120
+	if v := q.Get("points"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeErr(w, http.StatusBadRequest, "points must be a positive integer")
+			return
+		}
+		points = n
+	}
+	var names []string
+	if v := q.Get("metrics"); v != "" {
+		for _, m := range strings.Split(v, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				names = append(names, m)
+			}
+		}
+	}
+
+	now := s.sampleNow()
+	series := s.ts.Query(names, now-window, now, points)
+	resp := client.TimeseriesResponse{
+		Now:           now,
+		WindowSeconds: window,
+		Series:        make([]client.TimeseriesSeries, 0, len(series)),
+	}
+	if s.cfg.SampleInterval > 0 {
+		resp.SampleIntervalMS = int(s.cfg.SampleInterval / time.Millisecond)
+	}
+	for _, sr := range series {
+		ts := client.TimeseriesSeries{
+			Name:   sr.Name,
+			Kind:   string(sr.Kind),
+			Help:   sr.Help,
+			Points: make([]client.TSPoint, 0, len(sr.Points)),
+		}
+		for _, p := range sr.Points {
+			ts.Points = append(ts.Points, client.TSPoint{T: p.T, V: p.V})
+		}
+		resp.Series = append(resp.Series, ts)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHistoryList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	sortBy := q.Get("sort")
+	switch sortBy {
+	case "", history.SortFinished, history.SortDuration, history.SortQError:
+	default:
+		writeErr(w, http.StatusBadRequest, "sort must be one of finished, duration, qerror")
+		return
+	}
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, "limit must be a non-negative integer")
+			return
+		}
+		limit = n
+	}
+	writeJSON(w, http.StatusOK, client.HistoryResponse{
+		Capacity: s.hist.Capacity(),
+		Retained: s.hist.Len(),
+		Profiles: s.hist.List(sortBy, limit),
+	})
+}
+
+func (s *Server) handleHistoryGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	p, ok := s.hist.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no retained profile for query %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, p)
+}
+
+func (s *Server) handleDashboardConfig(w http.ResponseWriter, r *http.Request) {
+	cfg := client.DashboardConfig{
+		SparklineSeries: dashboardSeries,
+		HistoryCapacity: s.hist.Capacity(),
+	}
+	if s.cfg.SampleInterval > 0 {
+		cfg.SampleIntervalMS = int(s.cfg.SampleInterval / time.Millisecond)
+	}
+	if s.cfg.KeepAlive > 0 {
+		cfg.KeepAliveMS = int(s.cfg.KeepAlive / time.Millisecond)
+	}
+	writeJSON(w, http.StatusOK, cfg)
+}
+
+// ---- debug surface ---------------------------------------------------
+
+// DebugHandler returns the process-introspection surface progressd
+// mounts on its -debug-addr listener: net/http/pprof under /debug/pprof/
+// and a JSON dump of runtime/metrics at /debug/runtime. It is a separate
+// handler (not part of the query API mux) so operators can keep it on a
+// loopback-only port.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/runtime", handleRuntimeMetrics)
+	return mux
+}
+
+// handleRuntimeMetrics dumps every scalar runtime/metrics sample as a
+// JSON object (histogram-kinded metrics are summarized by their bucket
+// count total — the full distributions belong to pprof).
+func handleRuntimeMetrics(w http.ResponseWriter, r *http.Request) {
+	descs := rtmetrics.All()
+	samples := make([]rtmetrics.Sample, len(descs))
+	for i, d := range descs {
+		samples[i].Name = d.Name
+	}
+	rtmetrics.Read(samples)
+	out := make(map[string]interface{}, len(samples))
+	for _, sm := range samples {
+		switch sm.Value.Kind() {
+		case rtmetrics.KindUint64:
+			out[sm.Name] = sm.Value.Uint64()
+		case rtmetrics.KindFloat64:
+			out[sm.Name] = sm.Value.Float64()
+		case rtmetrics.KindFloat64Histogram:
+			var total uint64
+			for _, c := range sm.Value.Float64Histogram().Counts {
+				total += c
+			}
+			out[sm.Name] = fmt.Sprintf("histogram(%d samples)", total)
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -31,12 +31,16 @@ import (
 	"runtime/debug"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"progressdb"
 	"progressdb/client"
 	"progressdb/internal/exec"
 	"progressdb/internal/obs"
+	"progressdb/internal/obs/tsdb"
+	"progressdb/internal/server/dashboard"
+	"progressdb/internal/server/history"
 )
 
 // Config configures a Server.
@@ -54,6 +58,24 @@ type Config struct {
 	// timeout error (user cancellations stay "canceled"); the
 	// server_queries_timedout_total counter tracks occurrences.
 	QueryTimeout time.Duration
+	// SampleInterval is the timeseries sampler's cadence: every
+	// interval, one point per registered instrument is recorded into
+	// the ring-buffer store behind /api/timeseries. 0 means the 1 s
+	// default; negative disables the wall-clock sampler entirely
+	// (tests then drive sampleOnce with virtual timestamps).
+	SampleInterval time.Duration
+	// TimeseriesPoints is the per-series ring capacity (default 720 —
+	// 12 minutes of history at the default cadence).
+	TimeseriesPoints int
+	// HistoryDepth bounds the completed-query profile store behind
+	// /api/history (default 256; oldest-terminal profiles are evicted
+	// first).
+	HistoryDepth int
+	// KeepAlive is the idle interval after which an SSE progress
+	// stream emits a `: ping` comment so proxies and EventSource
+	// clients don't drop long-quiet connections. 0 means the 15 s
+	// default; negative disables pings.
+	KeepAlive time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -62,6 +84,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 8
+	}
+	if c.SampleInterval == 0 {
+		c.SampleInterval = time.Second
+	}
+	if c.TimeseriesPoints <= 0 {
+		c.TimeseriesPoints = 720
+	}
+	if c.HistoryDepth <= 0 {
+		c.HistoryDepth = 256
+	}
+	if c.KeepAlive == 0 {
+		c.KeepAlive = 15 * time.Second
 	}
 	return c
 }
@@ -81,10 +115,14 @@ type metrics struct {
 	timedout  *obs.Counter
 	panicked  *obs.Counter
 	events    *obs.Counter
+	profiles  *obs.Counter
+	samples   *obs.Counter
+	pings     *obs.Counter
 
 	queueDepth *obs.Gauge
 	running    *obs.Gauge
 	sseSubs    *obs.Gauge
+	retained   *obs.Gauge
 
 	wall *obs.Histogram
 }
@@ -103,9 +141,13 @@ func newMetrics(db *progressdb.DB) metrics {
 	m.timedout = m.reg.Counter("server_queries_timedout_total", "queries that exceeded the per-query deadline")
 	m.panicked = m.reg.Counter("server_queries_panicked_total", "queries that ended in a recovered panic (internal error)")
 	m.events = m.reg.Counter("server_progress_events_total", "progress events published to subscribers")
+	m.profiles = m.reg.Counter("server_history_profiles_total", "terminal-query profiles captured into the history store")
+	m.samples = m.reg.Counter("server_timeseries_samples_total", "sampler passes recorded into the timeseries store")
+	m.pings = m.reg.Counter("server_sse_keepalives_total", "keep-alive comments written on idle progress streams")
 	m.queueDepth = m.reg.Gauge("server_queue_depth", "queries waiting in the admission queue")
 	m.running = m.reg.Gauge("server_queries_running", "queries currently executing")
 	m.sseSubs = m.reg.Gauge("server_sse_subscribers", "open progress streams")
+	m.retained = m.reg.Gauge("server_history_retained", "profiles currently held by the history store")
 	m.wall = m.reg.Histogram("server_query_wall_seconds",
 		"real (wall-clock) execution time per query",
 		[]float64{0.001, 0.005, 0.02, 0.1, 0.5, 2, 10, 60})
@@ -118,6 +160,14 @@ type Server struct {
 	cfg Config
 	reg *registry
 	met metrics
+
+	ts   *tsdb.Store
+	hist *history.Store
+	// lastSample holds the float64 bits of the most recent sample
+	// timestamp — the /api/timeseries notion of "now", which follows
+	// whichever clock feeds the sampler (wall in the daemon, virtual in
+	// tests).
+	lastSample atomic.Uint64
 
 	queue  chan *job
 	engine chan struct{} // capacity-1 semaphore: the engine is single-threaded
@@ -141,6 +191,8 @@ func New(db *progressdb.DB, cfg Config) *Server {
 		cfg:    cfg,
 		reg:    newRegistry(),
 		met:    newMetrics(db),
+		ts:     tsdb.New(cfg.TimeseriesPoints),
+		hist:   history.New(cfg.HistoryDepth),
 		queue:  make(chan *job, cfg.QueueDepth),
 		engine: make(chan struct{}, 1),
 		quit:   make(chan struct{}),
@@ -150,6 +202,10 @@ func New(db *progressdb.DB, cfg Config) *Server {
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
+	}
+	if cfg.SampleInterval > 0 {
+		s.wg.Add(1)
+		go s.sampler()
 	}
 	return s
 }
@@ -173,6 +229,7 @@ func (s *Server) Close() {
 			case j := <-s.queue:
 				if j.finish(client.StateCanceled, errors.New("server shutting down"), nil) {
 					s.met.canceled.Inc()
+					s.retire(j)
 				}
 			default:
 				s.met.queueDepth.Set(float64(len(s.queue)))
@@ -191,6 +248,11 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /queries/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /api/timeseries", s.handleTimeseries)
+	s.mux.HandleFunc("GET /api/history", s.handleHistoryList)
+	s.mux.HandleFunc("GET /api/history/{id}", s.handleHistoryGet)
+	s.mux.HandleFunc("GET /api/dashboard/config", s.handleDashboardConfig)
+	s.mux.Handle("GET /{$}", dashboard.Handler())
 }
 
 // ---- worker pool -----------------------------------------------------
@@ -217,11 +279,13 @@ func (s *Server) runJob(j *job) {
 	case <-j.ctx.Done():
 		if j.finish(client.StateCanceled, errors.New("canceled while queued"), nil) {
 			s.met.canceled.Inc()
+			s.retire(j)
 		}
 		return
 	case <-s.quit:
 		if j.finish(client.StateCanceled, errors.New("server shutting down"), nil) {
 			s.met.canceled.Inc()
+			s.retire(j)
 		}
 		return
 	}
@@ -255,6 +319,11 @@ func (s *Server) runJob(j *job) {
 		}
 	}
 
+	// Counter baseline for the history profile: the engine is held for
+	// the whole execution, so post-minus-pre deltas of engine counters
+	// are exactly this query's doing.
+	before := counterBaseline(s.db.Registry())
+
 	start := time.Now()
 	var res *progressdb.Result
 	var err error
@@ -274,16 +343,19 @@ func (s *Server) runJob(j *job) {
 		}
 	}()
 	s.met.wall.Observe(time.Since(start).Seconds())
+	j.setCounters(counterDeltas(before, s.db.Registry()))
 
 	var internal *exec.InternalError
 	switch {
 	case err == nil:
 		if j.finish(client.StateDone, nil, res) {
 			s.met.completed.Inc()
+			s.retire(j)
 		}
 	case errors.Is(err, context.Canceled):
 		if j.finish(client.StateCanceled, err, nil) {
 			s.met.canceled.Inc()
+			s.retire(j)
 		}
 	case errors.Is(err, context.DeadlineExceeded):
 		// A deadline expiry is the server's doing, not the user's: the
@@ -292,6 +364,7 @@ func (s *Server) runJob(j *job) {
 		if j.finish(client.StateFailed, fmt.Errorf("query timeout exceeded: %w", err), nil) {
 			s.met.failed.Inc()
 			s.met.timedout.Inc()
+			s.retire(j)
 		}
 	default:
 		if errors.As(err, &internal) {
@@ -299,6 +372,7 @@ func (s *Server) runJob(j *job) {
 		}
 		if j.finish(client.StateFailed, err, nil) {
 			s.met.failed.Inc()
+			s.retire(j)
 		}
 	}
 }
@@ -411,6 +485,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	if queued {
 		if j.finish(client.StateCanceled, errors.New("canceled while queued"), nil) {
 			s.met.canceled.Inc()
+			s.retire(j)
 		}
 	}
 	writeJSON(w, http.StatusOK, j.info(0))
@@ -483,9 +558,26 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	for {
-		evs, ok := sub.wait(r.Context())
-		if !ok {
+		var evs []client.ProgressEvent
+		var alive, ping bool
+		if s.cfg.KeepAlive > 0 {
+			evs, alive, ping = sub.waitKeepAlive(r.Context(), s.cfg.KeepAlive)
+		} else {
+			evs, alive = sub.wait(r.Context())
+		}
+		if !alive {
 			return // client went away
+		}
+		if ping {
+			// SSE comment line: ignored by event parsers, but keeps the
+			// connection warm through proxies while a slow (or paced)
+			// query is between refreshes.
+			if _, err := fmt.Fprint(w, ": ping\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
+			s.met.pings.Inc()
+			continue
 		}
 		for _, ev := range evs {
 			if !write(ev) {

@@ -176,6 +176,19 @@ func (db *DB) run(ctx context.Context, p plan.Node, name string, onProgress func
 	for _, s := range ind.Snapshots() {
 		res.History = append(res.History, toReport(s))
 	}
+	for _, r := range ind.SegmentReports() {
+		res.Segments = append(res.Segments, SegmentStats{
+			Index:        r.ID,
+			Root:         r.Root,
+			EstCostU:     r.EstCostU,
+			ActualCostU:  r.ActualCostU,
+			EstRows:      r.EstOutRows,
+			ActualRows:   r.ActualOutRows,
+			StartSeconds: r.StartT,
+			EndSeconds:   r.EndT,
+			Done:         r.Done,
+		})
+	}
 	if coll != nil {
 		res.Trace = buildTrace(name, p, d, ind.SegmentReports(), coll, start, db.clock.Now())
 	}

@@ -387,6 +387,30 @@ func toReport(s core.Snapshot) Report {
 	}
 }
 
+// SegmentStats is one pipelined segment's post-execution summary: the
+// estimated-versus-actual figures the indicator accumulated while the
+// segment ran. It is the paper's Section 6 "where did the time go"
+// ledger, exposed per query so serving layers can retain it after the
+// query finishes.
+type SegmentStats struct {
+	// Index is the segment's execution-order position.
+	Index int
+	// Root labels the segment's top operator.
+	Root string
+	// EstCostU and ActualCostU compare the optimizer's initial segment
+	// cost with the work actually done, in U (pages).
+	EstCostU, ActualCostU float64
+	// EstRows is the optimizer's output-cardinality estimate E1;
+	// ActualRows the observed output (-1 for the final segment, whose
+	// output is the result set and is not U-accounted).
+	EstRows, ActualRows float64
+	// StartSeconds and EndSeconds bound the segment's active period in
+	// virtual time (both zero if it never started).
+	StartSeconds, EndSeconds float64
+	// Done reports whether the segment ran to completion.
+	Done bool
+}
+
 // Result is a completed query.
 type Result struct {
 	// Columns are the output column names.
@@ -397,6 +421,9 @@ type Result struct {
 	VirtualSeconds float64
 	// History is every progress report taken during execution.
 	History []Report
+	// Segments is the per-segment estimated-vs-actual ledger, always
+	// filled on successful execution.
+	Segments []SegmentStats
 	// Trace is the per-query span tree (query → segment → operator),
 	// filled when Config.Trace is set, Config.TraceSink is non-nil, or
 	// the query ran under ExecAnalyze / ExplainAnalyze; nil otherwise.
