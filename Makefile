@@ -40,11 +40,19 @@ chaos:
 bench-obs:
 	go test . -run XXX -bench 'BenchmarkObs(Disabled|Enabled)' -benchtime 50x
 
-# Refresh the committed observability-overhead baseline. Review the
-# BENCH_obs.json diff like code: a regression here is a hot-path change.
+# Sharded-serving speedup: modeled query latency (virtual seconds, the
+# simulation's own clock) for shards=4 vs shards=1 on a partitioned
+# scan and a co-partitioned join.
+bench-fleet:
+	go test ./internal/fleet -run XXX -bench 'BenchmarkFleet' -benchtime 10x -benchmem
+
+# Refresh the committed baselines. Review the BENCH_*.json diffs like
+# code: a regression here is a hot-path or cost-model change.
 bench-snapshot:
 	go test . -run XXX -bench 'BenchmarkObs(Disabled|Enabled)' -benchtime 50x -benchmem \
 		| go run ./cmd/benchsnap > BENCH_obs.json
+	go test ./internal/fleet -run XXX -bench 'BenchmarkFleet' -benchtime 10x -benchmem \
+		| go run ./cmd/benchsnap > BENCH_fleet.json
 
 # Run the daemon with the embedded dashboard on the default port.
 dash:

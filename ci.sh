@@ -55,6 +55,13 @@ echo "== progressd smoke =="
 # JSON endpoints, a well-formed decoded body.
 "$bindir"/progressd -smoke
 
+echo "== progressd fleet smoke =="
+# Same daemon stack fronting a 4-shard fleet: paced scan with per-shard
+# SSE breakdowns and monotone global progress, mid-flight cancel
+# propagated to every shard, merged count(*) equal to the full table,
+# coordinator fleet_* metrics, and the dashboard's fleet-mode config.
+"$bindir"/progressd -shards 4 -smoke
+
 echo "== fault-matrix smoke =="
 # 3 seeds x {read-fault, write-fault, latency} over a spilling join:
 # error-or-correct results, no temp/page leaks, engine reusable.

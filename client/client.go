@@ -12,6 +12,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Client talks to a progressd server.
@@ -235,24 +236,76 @@ func (c *Client) HistoryProfile(ctx context.Context, id string) (QueryProfile, e
 // reporting an error.
 var ErrStop = errors.New("client: stop streaming")
 
+// streamMaxRetries bounds consecutive reconnection attempts after a
+// dropped SSE connection; the counter resets whenever an event arrives.
+const streamMaxRetries = 5
+
 // Stream subscribes to a query's live progress (GET
 // /queries/{id}/progress, Server-Sent Events) and invokes fn for every
 // event, including a replay of refreshes that happened before the
 // subscription. It returns nil after the terminal event (which fn also
 // sees), when fn returns ErrStop, or with the first error otherwise.
+//
+// A dropped connection is transparently resumed: the client reconnects
+// with the standard Last-Event-ID header carrying the highest sequence
+// number it has seen, the server filters its replay accordingly, and fn
+// observes every event exactly once, in order, terminal event last.
+// Reconnection is retried with exponential backoff up to
+// streamMaxRetries consecutive failures (any delivered event resets the
+// budget); an HTTP-level error (404, 400, …) is never retried.
 func (c *Client) Stream(ctx context.Context, id string, fn func(ProgressEvent) error) error {
+	lastSeq := 0
+	retries := 0
+	for {
+		prev := lastSeq
+		done, err := c.streamOnce(ctx, id, &lastSeq, fn)
+		if done || err == nil {
+			return err
+		}
+		if lastSeq > prev {
+			retries = 0 // the connection made progress before dropping
+		}
+		var ae *APIError
+		if errors.As(err, &ae) || ctx.Err() != nil {
+			return err // server rejected the subscription, or caller gave up
+		}
+		// Transport-level drop: resume from lastSeq after a backoff.
+		if retries++; retries > streamMaxRetries {
+			return fmt.Errorf("client: progress stream for %s dropped %d times, giving up: %w", id, retries-1, err)
+		}
+		backoff := time.Duration(50<<uint(retries-1)) * time.Millisecond
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// streamOnce runs a single SSE connection. It updates *lastSeq as events
+// are delivered (deduplicating anything at or below it, so an
+// over-generous server replay cannot double-deliver) and reports
+// done=true when the stream ended for good: terminal event, ErrStop, fn
+// error, or caller cancellation.
+func (c *Client) streamOnce(ctx context.Context, id string, lastSeq *int, fn func(ProgressEvent) error) (done bool, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/queries/"+id+"/progress", nil)
 	if err != nil {
-		return err
+		return true, err
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	if *lastSeq > 0 {
+		req.Header.Set("Last-Event-ID", strconv.Itoa(*lastSeq))
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return err
+		if ctx.Err() != nil {
+			return true, ctx.Err()
+		}
+		return false, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return apiError(resp)
+		return true, apiError(resp)
 	}
 
 	sc := bufio.NewScanner(resp.Body)
@@ -266,25 +319,29 @@ func (c *Client) Stream(ctx context.Context, id string, fn func(ProgressEvent) e
 		case line == "" && len(data) > 0:
 			var ev ProgressEvent
 			if err := json.Unmarshal(data, &ev); err != nil {
-				return fmt.Errorf("client: bad SSE payload: %w", err)
+				return true, fmt.Errorf("client: bad SSE payload: %w", err)
 			}
 			data = data[:0]
+			if ev.Seq <= *lastSeq {
+				continue // duplicate from a replay overlap
+			}
+			*lastSeq = ev.Seq
 			if err := fn(ev); err != nil {
 				if errors.Is(err, ErrStop) {
-					return nil
+					return true, nil
 				}
-				return err
+				return true, err
 			}
 			if ev.Terminal() {
-				return nil
+				return true, nil
 			}
 		}
 	}
 	if err := sc.Err(); err != nil {
 		if ctx.Err() != nil {
-			return ctx.Err()
+			return true, ctx.Err()
 		}
-		return err
+		return false, err
 	}
-	return io.ErrUnexpectedEOF
+	return false, io.ErrUnexpectedEOF
 }

@@ -122,6 +122,28 @@ type ProgressEvent struct {
 	// Error carries the failure message on failed/canceled terminal
 	// events.
 	Error string `json:"error,omitempty"`
+	// Shards carries the per-shard breakdown when the server fronts a
+	// sharded fleet; absent on single-engine deployments.
+	Shards []ShardProgress `json:"shards,omitempty"`
+}
+
+// ShardProgress is one shard's slice of a fleet query's progress, as
+// embedded in a fleet deployment's ProgressEvents.
+type ShardProgress struct {
+	// Shard is the shard id (0-based).
+	Shard int `json:"shard"`
+	// Percent is the shard subquery's own progress estimate, 0-100.
+	Percent float64 `json:"percent"`
+	// DoneU / EstTotalU are the shard's completed work and refined total
+	// cost in U.
+	DoneU     float64 `json:"done_u"`
+	EstTotalU float64 `json:"est_total_u"`
+	// SpeedU is the shard's monitored speed in U/second.
+	SpeedU float64 `json:"speed_u"`
+	// ElapsedSeconds is the shard's own virtual elapsed time.
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// Finished marks a shard whose subquery has completed.
+	Finished bool `json:"finished,omitempty"`
 }
 
 // Terminal reports whether the event closes the stream.
@@ -326,4 +348,7 @@ type DashboardConfig struct {
 	SampleIntervalMS int      `json:"sample_interval_ms"`
 	KeepAliveMS      int      `json:"keepalive_ms"`
 	HistoryCapacity  int      `json:"history_capacity"`
+	// Shards is the serving engine's shard count; values > 1 switch the
+	// dashboard into fleet mode (per-shard heatmap panel).
+	Shards int `json:"shards,omitempty"`
 }

@@ -17,6 +17,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -30,11 +31,13 @@ import (
 	"progressdb"
 	"progressdb/client"
 	"progressdb/internal/faultinject"
+	"progressdb/internal/fleet"
 	"progressdb/internal/server"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	shards := flag.Int("shards", 1, "engine shards; >1 serves a hash-partitioned fleet with aggregated progress")
 	scale := flag.Float64("scale", 0.02, "paper workload scale loaded at startup")
 	workers := flag.Int("workers", 1, "admission workers")
 	queue := flag.Int("queue", 8, "admission queue depth (full queue → 429)")
@@ -54,9 +57,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "progressd: -fault:", err)
 		os.Exit(2)
 	}
+	if *shards < 1 {
+		fmt.Fprintln(os.Stderr, "progressd: -shards must be >= 1")
+		os.Exit(2)
+	}
 
 	if *smoke {
-		if err := runSmoke(); err != nil {
+		var err error
+		if *shards > 1 {
+			err = runFleetSmoke(*shards)
+		} else {
+			err = runSmoke()
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "progressd smoke: FAIL:", err)
 			os.Exit(1)
 		}
@@ -64,7 +77,7 @@ func main() {
 		return
 	}
 
-	db := progressdb.Open(progressdb.Config{
+	shardCfg := progressdb.Config{
 		WorkMemPages:          *workMem,
 		ProgressUpdateSeconds: *update,
 		// Calibrate virtual time to full-scale durations (see DESIGN.md).
@@ -72,24 +85,51 @@ func main() {
 		RandPageCost: 6.4e-3 / *scale,
 		Metrics:      *metrics,
 		FaultSpec:    *fault,
-	})
+	}
 	if *fault != "" {
 		fmt.Printf("progressd: fault injection armed: %s\n", *fault)
 	}
-	fmt.Printf("progressd: loading paper workload at scale %g ...\n", *scale)
-	if err := db.LoadPaperWorkload(*scale, false); err != nil {
-		fmt.Fprintln(os.Stderr, "progressd:", err)
-		os.Exit(1)
-	}
-
-	srv := server.New(db, server.Config{
+	srvCfg := server.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		QueryTimeout:   *queryTimeout,
 		SampleInterval: *sample,
 		HistoryDepth:   *histDepth,
 		KeepAlive:      *keepAlive,
-	})
+	}
+
+	var srv *server.Server
+	if *shards > 1 {
+		// Fleet mode: N hash-partitioned shard engines behind one
+		// coordinator; -fault arms every shard's injector identically.
+		fcfg := fleet.Config{Shards: *shards, Shard: shardCfg}
+		fcfg.Shard.FaultSpec = ""
+		if *fault != "" {
+			fcfg.ShardFaultSpecs = make([]string, *shards)
+			for i := range fcfg.ShardFaultSpecs {
+				fcfg.ShardFaultSpecs[i] = *fault
+			}
+		}
+		f, err := fleet.New(fcfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "progressd:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("progressd: loading paper workload at scale %g across %d shards ...\n", *scale, *shards)
+		if err := f.LoadPaperWorkload(*scale, false); err != nil {
+			fmt.Fprintln(os.Stderr, "progressd:", err)
+			os.Exit(1)
+		}
+		srv = server.NewFleet(f, srvCfg)
+	} else {
+		db := progressdb.Open(shardCfg)
+		fmt.Printf("progressd: loading paper workload at scale %g ...\n", *scale)
+		if err := db.LoadPaperWorkload(*scale, false); err != nil {
+			fmt.Fprintln(os.Stderr, "progressd:", err)
+			os.Exit(1)
+		}
+		srv = server.New(db, srvCfg)
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "progressd:", err)
@@ -237,6 +277,172 @@ func runSmoke() error {
 	if err := smokeObservability(ctx, cl, "http://"+ln.Addr().String(), sub2.ID); err != nil {
 		return err
 	}
+
+	shCtx, shCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shCancel()
+	if err := hs.Shutdown(shCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	srv.Close()
+	return nil
+}
+
+// runFleetSmoke is the sharded-serving CI self-test: bring up an
+// n-shard fleet behind the HTTP server, run a paced scan whose SSE
+// events must carry per-shard breakdowns with monotone global progress,
+// cancel it, run a second query to completion and verify the merged
+// result, then check the coordinator's fleet_* metrics and the
+// dashboard's fleet-mode config.
+func runFleetSmoke(n int) error {
+	f, err := fleet.New(fleet.Config{
+		Shards: n,
+		Shard: progressdb.Config{
+			ProgressUpdateSeconds: 0.25,
+			SpeedWindowSeconds:    1,
+			SeqPageCost:           0.05, // stretch virtual time → many refreshes
+			BufferPoolPages:       64,   // keep the scans I/O-bound
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if err := f.CreateTable("t", "k",
+		progressdb.Col("k", progressdb.Int), progressdb.Col("pad", progressdb.Text)); err != nil {
+		return err
+	}
+	pad := strings.Repeat("x", 100)
+	const rows = 20000
+	for i := 0; i < rows; i++ {
+		if err := f.Insert("t", int64(i), pad); err != nil {
+			return err
+		}
+	}
+	if err := f.Analyze(); err != nil {
+		return err
+	}
+	if err := f.ColdRestart(); err != nil {
+		return err
+	}
+
+	srv := server.NewFleet(f, server.Config{
+		Workers:        1,
+		QueueDepth:     4,
+		SampleInterval: 25 * time.Millisecond,
+	})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	base := "http://" + ln.Addr().String()
+	cl := client.New(base)
+
+	sub, err := cl.Submit(ctx, client.SubmitRequest{
+		SQL: "select * from t", Name: "fleet-smoke", PaceMS: 20,
+	})
+	if err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+	fmt.Printf("progressd smoke: submitted %s (%s) across %d shards\n", sub.ID, sub.State, n)
+
+	events, withShards := 0, 0
+	lastPct := -1.0
+	var last client.ProgressEvent
+	err = cl.Stream(ctx, sub.ID, func(ev client.ProgressEvent) error {
+		last = ev
+		if ev.Percent < lastPct {
+			return fmt.Errorf("progress regressed: %.2f%% after %.2f%%", ev.Percent, lastPct)
+		}
+		lastPct = ev.Percent
+		if len(ev.Shards) > 0 {
+			withShards++
+			for _, sp := range ev.Shards {
+				if sp.Shard < 0 || sp.Shard >= n {
+					return fmt.Errorf("event %d names shard %d of %d", ev.Seq, sp.Shard, n)
+				}
+			}
+		}
+		if !ev.Terminal() {
+			events++
+			if events == 1 {
+				fmt.Printf("progressd smoke: first event %.1f%% done, %d shard breakdowns\n",
+					ev.Percent, len(ev.Shards))
+				if _, err := cl.Cancel(ctx, sub.ID); err != nil {
+					return fmt.Errorf("cancel: %w", err)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("stream: %w", err)
+	}
+	if events < 1 {
+		return fmt.Errorf("no progress events before terminal")
+	}
+	if withShards < 1 {
+		return fmt.Errorf("no progress event carried a per-shard breakdown")
+	}
+	if last.State != client.StateCanceled {
+		return fmt.Errorf("terminal state = %s, want canceled", last.State)
+	}
+
+	// Second query runs to completion; its merged result must cover every
+	// shard's partition.
+	sub2, err := cl.Submit(ctx, client.SubmitRequest{
+		SQL: "select count(*) from t", Name: "fleet-smoke2", KeepRows: true,
+	})
+	if err != nil {
+		return fmt.Errorf("submit 2: %w", err)
+	}
+	if err := cl.Stream(ctx, sub2.ID, func(client.ProgressEvent) error { return nil }); err != nil {
+		return fmt.Errorf("stream 2: %w", err)
+	}
+	res, err := cl.Result(ctx, sub2.ID)
+	if err != nil {
+		return fmt.Errorf("result 2: %w", err)
+	}
+	if len(res.Rows) != 1 || len(res.Rows[0]) != 1 {
+		return fmt.Errorf("count(*) result shape %dx%d", len(res.Rows), len(res.Rows))
+	}
+	if got := fmt.Sprint(res.Rows[0][0]); got != fmt.Sprint(rows) {
+		return fmt.Errorf("count(*) = %s, want %d", got, rows)
+	}
+	fmt.Printf("progressd smoke: merged count(*) = %d over %d shards\n", rows, n)
+
+	// Coordinator metrics and the dashboard's fleet-mode config.
+	text, err := cl.MetricsText(ctx)
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{
+		fmt.Sprintf("fleet_shards %d", n),
+		"fleet_queries_total 2",
+		fmt.Sprintf("fleet_subqueries_total %d", 2*n),
+		"fleet_cancels_propagated_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			return fmt.Errorf("/metrics missing %q", want)
+		}
+	}
+	cfgBody, err := httpGet(ctx, base+"/api/dashboard/config")
+	if err != nil {
+		return fmt.Errorf("dashboard config: %w", err)
+	}
+	var dcfg client.DashboardConfig
+	if err := json.Unmarshal([]byte(cfgBody), &dcfg); err != nil {
+		return fmt.Errorf("dashboard config: %w", err)
+	}
+	if dcfg.Shards != n {
+		return fmt.Errorf("dashboard config shards = %d, want %d", dcfg.Shards, n)
+	}
+	fmt.Println("progressd smoke: fleet metrics + dashboard config ok")
 
 	shCtx, shCancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer shCancel()

@@ -49,6 +49,7 @@ var knownSubsystems = map[string]bool{
 	"segment":     true,
 	"txn":         true,
 	"server":      true,
+	"fleet":       true, // sharded-serving coordinator (merge, fan-out, per-shard gauges)
 	"faultinject": true,
 	"indicator":   true, // progress-indicator gauges
 	"progress":    true, // progress-estimate distributions

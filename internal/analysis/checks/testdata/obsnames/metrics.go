@@ -13,6 +13,11 @@ func register(reg *obs.Registry, dynamic string) {
 	reg.LabeledCounter("exec_rows_out_total", "op", "scan", "rows by operator")
 	// Labeled families may be registered from several sites.
 	reg.LabeledCounter("exec_rows_out_total", "op", "sort", "rows by operator")
+	// Coordinator metrics: the fleet subsystem covers both plain
+	// counters and the per-shard labeled gauges behind the heatmap.
+	reg.Counter("fleet_subqueries_total", "per-shard subqueries launched")
+	reg.LabeledGauge("fleet_shard_percent", "shard", "0", "per-shard progress")
+	reg.LabeledGauge("fleet_shard_percent", "shard", "1", "per-shard progress")
 
 	reg.Counter(dynamic, "computed name")                   // want `must be a literal string`
 	reg.Counter("storageIoRetries", "camel case")           // want `not snake_case`

@@ -15,6 +15,8 @@ func dashboardLists(dynamic string) []string {
 		tsdb.Ref("server_queue_depth"),
 		// Labeled family: the label selector is stripped before lookup.
 		tsdb.Ref(`exec_rows_out_total{op="scan"}`),
+		// The heatmap's per-shard selector resolves the same way.
+		tsdb.Ref(`fleet_shard_percent{shard="0"}`),
 		// Histogram-derived series resolve via their base registration.
 		tsdb.Ref("progress_refresh_u_count"),
 		tsdb.Ref("progress_refresh_u_sum"),

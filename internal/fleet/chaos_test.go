@@ -1,0 +1,118 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestFleetChaosConcurrentQueries drives concurrent multi-query load
+// across a 4-shard fleet whose shards carry independent fault schedules:
+// probabilistic transient read faults plus injected latency. Every query
+// must either fail loudly or return the correct answer (error-or-correct
+// — never silently wrong), every progress stream must stay monotone with
+// at most one terminal event, and afterwards no shard may hold leaked
+// temp files or orphaned pages.
+func TestFleetChaosConcurrentQueries(t *testing.T) {
+	f := paperFleet(t, 4)
+	ref := referenceDB(t)
+
+	// Independent per-shard fault schedules, installed post-bootstrap so
+	// they hit the query path. Transient faults are retried by the
+	// storage layer; the latency clause jitters shard finish order so
+	// the aggregator sees genuinely interleaved refresh streams.
+	specs := []string{
+		"seed=11,transient=0.02,latency=0.2:0.001",
+		"seed=12,latency=0.5:0.002",
+		"seed=13,transient=0.05",
+		"", // shard 3 stays clean
+	}
+	for i, spec := range specs {
+		if spec == "" {
+			continue
+		}
+		if err := f.SetShardFaultSpec(i, spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	queries := []string{
+		`select * from customer where nationkey < 12`,
+		`select count(*), sum(quantity) from lineitem`,
+		`select nationkey, count(*) from customer group by nationkey`,
+		`select c.custkey, o.orderkey from customer c, orders o where c.custkey = o.custkey and c.nationkey < 6`,
+		`select custkey, acctbal from customer order by custkey limit 40`,
+	}
+	want := make(map[string]map[string]int, len(queries))
+	for _, q := range queries {
+		res, err := ref.Exec(q, nil)
+		if err != nil {
+			t.Fatalf("reference %q: %v", q, err)
+		}
+		want[q] = multiset(res.Rows)
+	}
+
+	const workers = 6
+	const rounds = 4
+	var wg sync.WaitGroup
+	failures := make(chan string, workers*rounds)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				q := queries[(w+r)%len(queries)]
+				var reports []Report
+				res, err := f.Exec(q, func(rep Report) { reports = append(reports, rep) })
+				if err != nil {
+					// Loud failure is acceptable under injected faults —
+					// but it must carry shard attribution and must not
+					// masquerade as a user cancellation.
+					var se *ShardError
+					if !errors.As(err, &se) {
+						failures <- fmt.Sprintf("worker %d %q: error without shard attribution: %v", w, q, err)
+					} else if errors.Is(err, context.Canceled) {
+						failures <- fmt.Sprintf("worker %d %q: fault surfaced as context.Canceled: %v", w, q, err)
+					}
+					continue
+				}
+				got := multiset(res.Rows)
+				if len(got) != len(want[q]) {
+					failures <- fmt.Sprintf("worker %d %q: %d distinct rows, want %d", w, q, len(got), len(want[q]))
+					continue
+				}
+				for k, n := range want[q] {
+					if got[k] != n {
+						failures <- fmt.Sprintf("worker %d %q: row %q ×%d, want ×%d", w, q, k, got[k], n)
+						break
+					}
+				}
+				lastDone, lastPct, terminals := -1.0, -1.0, 0
+				for i, rep := range reports {
+					if rep.DoneU < lastDone || rep.Percent < lastPct {
+						failures <- fmt.Sprintf("worker %d %q report %d: progress regressed", w, q, i)
+						break
+					}
+					lastDone, lastPct = rep.DoneU, rep.Percent
+					if rep.Finished {
+						terminals++
+					}
+				}
+				if terminals != 1 {
+					failures <- fmt.Sprintf("worker %d %q: %d terminal reports", w, q, terminals)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(failures)
+	for msg := range failures {
+		t.Error(msg)
+	}
+
+	if err := f.CheckLeaks(); err != nil {
+		t.Fatalf("leaks after chaos load: %v", err)
+	}
+}

@@ -1,0 +1,139 @@
+// Global progress aggregation: N per-shard indicator streams merged into
+// one monotone fleet-level stream.
+//
+// The merge rule, in the paper's terms: work U is additive across
+// partitions, so global DoneU and the global total estimate are sums of
+// the latest per-shard figures; speed is the sum of the speeds of shards
+// still running; elapsed time is the max across shards (parallel
+// execution — the vclock barrier merge); remaining time is the max of
+// the per-shard remaining estimates, because the fleet finishes when its
+// slowest shard does. Percent is clamped monotone: per-shard DoneU never
+// decreases, but per-shard total estimates are refined both up and down,
+// so the raw ratio can regress — the coordinator publishes its running
+// maximum, the same "don't walk backwards" discipline the single-engine
+// indicator applies within a segment.
+package fleet
+
+import (
+	"math"
+	"sync"
+
+	"progressdb"
+)
+
+// ShardReport is one shard's latest indicator refresh, tagged with the
+// shard id.
+type ShardReport struct {
+	Shard  int
+	Report progressdb.Report
+}
+
+// Report is one aggregated fleet-level progress refresh: the global
+// figures plus the per-shard breakdown they were derived from.
+type Report struct {
+	progressdb.Report
+	// Shards holds the latest refresh of every shard heard from so far,
+	// in shard order.
+	Shards []ShardReport
+}
+
+// aggregator folds per-shard refreshes into global reports. All state is
+// guarded by mu; publishing happens under the lock so observers see a
+// totally ordered, monotone stream.
+type aggregator struct {
+	f          *Fleet
+	onProgress func(Report)
+
+	mu         sync.Mutex
+	latest     []progressdb.Report
+	seen       []bool
+	maxPercent float64
+	history    []Report
+	finished   bool
+}
+
+func newAggregator(f *Fleet, onProgress func(Report)) *aggregator {
+	return &aggregator{
+		f:          f,
+		onProgress: onProgress,
+		latest:     make([]progressdb.Report, len(f.shards)),
+		seen:       make([]bool, len(f.shards)),
+	}
+}
+
+// shardUpdate ingests one shard refresh and publishes the new global
+// report.
+func (a *aggregator) shardUpdate(id int, r progressdb.Report) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.finished {
+		return // terminal report already published; late stragglers are dropped
+	}
+	a.latest[id] = r
+	a.seen[id] = true
+	a.f.met.shardPercent[id].Set(r.Percent)
+	a.f.met.shardDone[id].Set(r.DoneU)
+	a.publishLocked(false)
+}
+
+// finish publishes the exactly-once terminal report. Only the success
+// path calls it: like the single engine, a failed or canceled query ends
+// without a Finished refresh and the error is the terminal signal.
+func (a *aggregator) finish() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.finished {
+		return
+	}
+	a.finished = true
+	a.publishLocked(true)
+}
+
+func (a *aggregator) publishLocked(final bool) {
+	g := progressdb.Report{CurrentSegment: -1, RemainingSeconds: math.NaN()}
+	for i := range a.latest {
+		if !a.seen[i] {
+			continue
+		}
+		r := a.latest[i]
+		g.DoneU += r.DoneU
+		g.EstimatedCostU += r.EstimatedCostU
+		g.SegmentsDone += r.SegmentsDone
+		if r.ElapsedSeconds > g.ElapsedSeconds {
+			g.ElapsedSeconds = r.ElapsedSeconds
+		}
+		g.StepPercent += r.StepPercent / float64(len(a.latest))
+		if !r.Finished {
+			g.SpeedU += r.SpeedU
+			if rem := r.RemainingSeconds; !math.IsNaN(rem) && !math.IsInf(rem, 0) {
+				if math.IsNaN(g.RemainingSeconds) || rem > g.RemainingSeconds {
+					g.RemainingSeconds = rem
+				}
+			}
+		}
+	}
+	if g.EstimatedCostU > 0 {
+		if pct := math.Min(100*g.DoneU/g.EstimatedCostU, 100); pct > a.maxPercent {
+			a.maxPercent = pct
+		}
+	}
+	if final {
+		a.maxPercent = 100
+		g.Finished = true
+		g.RemainingSeconds = 0
+		g.SpeedU = 0
+	}
+	g.Percent = a.maxPercent
+
+	rep := Report{Report: g, Shards: make([]ShardReport, 0, len(a.latest))}
+	for i := range a.latest {
+		if a.seen[i] {
+			rep.Shards = append(rep.Shards, ShardReport{Shard: i, Report: a.latest[i]})
+		}
+	}
+	a.history = append(a.history, rep)
+	a.f.met.events.Inc()
+	if a.onProgress != nil {
+		a.onProgress(rep)
+	}
+}

@@ -1,0 +1,131 @@
+// Engine abstraction: the server fronts either a single progressdb.DB
+// or an internal/fleet sharded deployment through one interface, so the
+// HTTP surface — admission control, SSE fan-out, metrics, history — is
+// identical for both.
+package server
+
+import (
+	"context"
+	"math"
+
+	"progressdb"
+	"progressdb/client"
+	"progressdb/internal/fleet"
+	"progressdb/internal/obs"
+)
+
+// Progress is one engine progress refresh as the server publishes it:
+// the global report plus, for sharded engines, the per-shard breakdown
+// already converted to wire form.
+type Progress struct {
+	Report progressdb.Report
+	Shards []client.ShardProgress
+}
+
+// Engine is the execution backend behind a Server.
+type Engine interface {
+	// ExecQuery runs sql under ctx, materializing rows only when
+	// keepRows is set, and invokes onProgress (if non-nil) at every
+	// progress refresh.
+	ExecQuery(ctx context.Context, sql string, keepRows bool, onProgress func(Progress)) (*progressdb.Result, error)
+	// Registry returns the engine-side metrics registry, or nil when
+	// engine metrics are disabled (the server then keeps a private one).
+	Registry() *obs.Registry
+	// Metrics snapshots the engine-side instruments (empty when
+	// disabled). Called only while the engine is idle.
+	Metrics() []obs.Sample
+	// MetricsText renders the engine-side Prometheus page (empty when
+	// disabled). Called only while the engine is idle.
+	MetricsText() string
+	// Shards returns the engine's shard count: 1 for a single DB, N for
+	// a fleet.
+	Shards() int
+}
+
+// dbEngine adapts a single progressdb.DB.
+type dbEngine struct{ db *progressdb.DB }
+
+func (e dbEngine) ExecQuery(ctx context.Context, sql string, keepRows bool, onProgress func(Progress)) (*progressdb.Result, error) {
+	var cb func(progressdb.Report)
+	if onProgress != nil {
+		cb = func(r progressdb.Report) { onProgress(Progress{Report: r}) }
+	}
+	if keepRows {
+		return e.db.ExecContext(ctx, sql, cb)
+	}
+	return e.db.ExecDiscardContext(ctx, sql, cb)
+}
+
+func (e dbEngine) Registry() *obs.Registry { return e.db.Registry() }
+func (e dbEngine) Metrics() []obs.Sample   { return e.db.Metrics() }
+func (e dbEngine) MetricsText() string     { return e.db.MetricsText() }
+func (e dbEngine) Shards() int             { return 1 }
+
+// fleetEngine adapts an internal/fleet deployment. The fleet's own
+// coordinator handles fan-out, merge, and progress aggregation; the
+// adapter converts its report/result shapes to the single-engine ones
+// the server publishes.
+type fleetEngine struct{ f *fleet.Fleet }
+
+func (e fleetEngine) ExecQuery(ctx context.Context, sql string, keepRows bool, onProgress func(Progress)) (*progressdb.Result, error) {
+	var cb func(fleet.Report)
+	if onProgress != nil {
+		cb = func(r fleet.Report) {
+			onProgress(Progress{Report: r.Report, Shards: shardBreakdown(r.Shards)})
+		}
+	}
+	var res *fleet.Result
+	var err error
+	if keepRows {
+		res, err = e.f.ExecContext(ctx, sql, cb)
+	} else {
+		res, err = e.f.ExecDiscardContext(ctx, sql, cb)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := &progressdb.Result{
+		Columns:        res.Columns,
+		Rows:           res.Rows,
+		VirtualSeconds: res.VirtualSeconds,
+		History:        make([]progressdb.Report, 0, len(res.History)),
+	}
+	for _, rep := range res.History {
+		out.History = append(out.History, rep.Report)
+	}
+	return out, nil
+}
+
+func (e fleetEngine) Registry() *obs.Registry { return e.f.Registry() }
+func (e fleetEngine) Metrics() []obs.Sample   { return e.f.Metrics() }
+func (e fleetEngine) MetricsText() string     { return e.f.MetricsText() }
+func (e fleetEngine) Shards() int             { return e.f.Shards() }
+
+// shardBreakdown converts a fleet report's per-shard slice to wire form.
+func shardBreakdown(shards []fleet.ShardReport) []client.ShardProgress {
+	if len(shards) == 0 {
+		return nil
+	}
+	out := make([]client.ShardProgress, 0, len(shards))
+	for _, sr := range shards {
+		out = append(out, client.ShardProgress{
+			Shard:          sr.Shard,
+			Percent:        finiteOrNeg1(sr.Report.Percent),
+			DoneU:          finiteOrNeg1(sr.Report.DoneU),
+			EstTotalU:      finiteOrNeg1(sr.Report.EstimatedCostU),
+			SpeedU:         finiteOrNeg1(sr.Report.SpeedU),
+			ElapsedSeconds: finiteOrNeg1(sr.Report.ElapsedSeconds),
+			Finished:       sr.Report.Finished,
+		})
+	}
+	return out
+}
+
+// finiteOrNeg1 maps NaN and ±Inf to -1, matching the wire convention for
+// the event's top-level fields (JSON cannot carry non-finite numbers).
+func finiteOrNeg1(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return -1
+	}
+	return v
+}

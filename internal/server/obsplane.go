@@ -40,6 +40,23 @@ var dashboardSeries = []string{
 	tsdb.Ref("vclock_seconds"),
 }
 
+// fleetSeries extend the sparkline list when the server fronts a fleet:
+// the coordinator's own instruments (the engine series above live on
+// per-shard registries and are not sampled fleet-wide).
+var fleetSeries = []string{
+	tsdb.Ref("fleet_queries_total"),
+	tsdb.Ref("fleet_subqueries_total"),
+	tsdb.Ref("fleet_rows_merged_total"),
+	tsdb.Ref("fleet_progress_events_total"),
+	tsdb.Ref("fleet_queries_failed_total"),
+	tsdb.Ref("fleet_cancels_propagated_total"),
+}
+
+// fleetShardPercentSeries is the series-ID stem of the per-shard
+// progress gauges the dashboard's heatmap reads; the full IDs are
+// fleet_shard_percent{shard="0"} … {shard="N-1"}.
+var fleetShardPercentSeries = tsdb.Ref("fleet_shard_percent")
+
 // profileCounters are the engine counter families whose per-query deltas
 // are attached to history profiles. The engine semaphore is held for the
 // whole execution, so post-minus-pre deltas are exactly one query's
@@ -95,7 +112,7 @@ func (s *Server) sampleOnce(now float64) {
 	var samples []obs.Sample
 	select {
 	case s.engine <- struct{}{}:
-		samples = s.db.Metrics()
+		samples = s.eng.Metrics()
 		<-s.engine
 		if !s.met.shared {
 			samples = append(s.met.reg.Snapshot(), samples...)
@@ -252,6 +269,19 @@ func (s *Server) handleDashboardConfig(w http.ResponseWriter, r *http.Request) {
 	cfg := client.DashboardConfig{
 		SparklineSeries: dashboardSeries,
 		HistoryCapacity: s.hist.Capacity(),
+		Shards:          s.eng.Shards(),
+	}
+	if cfg.Shards > 1 {
+		// Fleet mode: engine-internal series live on per-shard registries
+		// and are not sampled fleet-wide — plot the server series plus the
+		// coordinator's fleet instruments instead.
+		var series []string
+		for _, name := range dashboardSeries {
+			if strings.HasPrefix(name, "server_") {
+				series = append(series, name)
+			}
+		}
+		cfg.SparklineSeries = append(series, fleetSeries...)
 	}
 	if s.cfg.SampleInterval > 0 {
 		cfg.SampleIntervalMS = int(s.cfg.SampleInterval / time.Millisecond)

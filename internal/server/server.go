@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -37,6 +38,7 @@ import (
 	"progressdb"
 	"progressdb/client"
 	"progressdb/internal/exec"
+	"progressdb/internal/fleet"
 	"progressdb/internal/obs"
 	"progressdb/internal/obs/tsdb"
 	"progressdb/internal/server/dashboard"
@@ -127,8 +129,7 @@ type metrics struct {
 	wall *obs.Histogram
 }
 
-func newMetrics(db *progressdb.DB) metrics {
-	reg := db.Registry()
+func newMetrics(reg *obs.Registry) metrics {
 	m := metrics{reg: reg, shared: reg != nil}
 	if m.reg == nil {
 		m.reg = obs.NewRegistry()
@@ -154,9 +155,10 @@ func newMetrics(db *progressdb.DB) metrics {
 	return m
 }
 
-// Server is one progressd instance wrapping a single engine.
+// Server is one progressd instance wrapping an execution engine —
+// a single progressdb.DB or a sharded fleet.
 type Server struct {
-	db  *progressdb.DB
+	eng Engine
 	cfg Config
 	reg *registry
 	met metrics
@@ -181,16 +183,28 @@ type Server struct {
 	mux *http.ServeMux
 }
 
-// New creates a server over db and starts its worker pool. The engine
-// must already hold its tables (load and Analyze before serving). Call
-// Close to stop the workers.
+// New creates a server over a single-engine db and starts its worker
+// pool. The engine must already hold its tables (load and Analyze before
+// serving). Call Close to stop the workers.
 func New(db *progressdb.DB, cfg Config) *Server {
+	return NewEngine(dbEngine{db: db}, cfg)
+}
+
+// NewFleet creates a server fronting a sharded fleet: queries fan out
+// across the shards, progress events carry the per-shard breakdown, and
+// /metrics serves the coordinator's fleet_* instruments.
+func NewFleet(f *fleet.Fleet, cfg Config) *Server {
+	return NewEngine(fleetEngine{f: f}, cfg)
+}
+
+// NewEngine creates a server over any Engine and starts its worker pool.
+func NewEngine(eng Engine, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		db:     db,
+		eng:    eng,
 		cfg:    cfg,
 		reg:    newRegistry(),
-		met:    newMetrics(db),
+		met:    newMetrics(eng.Registry()),
 		ts:     tsdb.New(cfg.TimeseriesPoints),
 		hist:   history.New(cfg.HistoryDepth),
 		queue:  make(chan *job, cfg.QueueDepth),
@@ -306,8 +320,10 @@ func (s *Server) runJob(j *job) {
 	}
 	defer cancelRun()
 
-	onProgress := func(r progressdb.Report) {
-		j.publish(client.EventFromReport(j.id, r))
+	onProgress := func(p Progress) {
+		ev := client.EventFromReport(j.id, p.Report)
+		ev.Shards = p.Shards
+		j.publish(ev)
 		s.met.events.Inc()
 		if j.pace > 0 {
 			t := time.NewTimer(j.pace)
@@ -322,7 +338,7 @@ func (s *Server) runJob(j *job) {
 	// Counter baseline for the history profile: the engine is held for
 	// the whole execution, so post-minus-pre deltas of engine counters
 	// are exactly this query's doing.
-	before := counterBaseline(s.db.Registry())
+	before := counterBaseline(s.eng.Registry())
 
 	start := time.Now()
 	var res *progressdb.Result
@@ -336,14 +352,10 @@ func (s *Server) runJob(j *job) {
 				res, err = nil, exec.NewInternalError(r, debug.Stack())
 			}
 		}()
-		if j.keepRows {
-			res, err = s.db.ExecContext(runCtx, j.sql, onProgress)
-		} else {
-			res, err = s.db.ExecDiscardContext(runCtx, j.sql, onProgress)
-		}
+		res, err = s.eng.ExecQuery(runCtx, j.sql, j.keepRows, onProgress)
 	}()
 	s.met.wall.Observe(time.Since(start).Seconds())
-	j.setCounters(counterDeltas(before, s.db.Registry()))
+	j.setCounters(counterDeltas(before, s.eng.Registry()))
 
 	var internal *exec.InternalError
 	switch {
@@ -513,10 +525,23 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 
 // handleProgress streams a query's progress events as SSE: a replay of
 // everything already published, then live events until the terminal one.
+// Every event carries an `id:` line with its sequence number; a
+// reconnecting client that presents `Last-Event-ID` has the replay
+// filtered to events it has not yet seen, so a dropped connection can be
+// resumed without duplicates or gaps.
 func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobFor(w, r)
 	if !ok {
 		return
+	}
+	lastSeen := 0
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, "Last-Event-ID must be a non-negative event sequence number")
+			return
+		}
+		lastSeen = n
 	}
 	fl, canFlush := w.(http.Flusher)
 	if !canFlush {
@@ -537,6 +562,11 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 	defer s.met.sseSubs.Add(-1)
 
 	write := func(ev client.ProgressEvent) bool {
+		if ev.Seq <= lastSeen {
+			// Already delivered on a previous connection. A terminal event
+			// still closes the stream — the query is over either way.
+			return !ev.Terminal()
+		}
 		name := "progress"
 		if ev.Terminal() {
 			name = string(ev.State)
@@ -545,7 +575,7 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return false
 		}
-		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, data); err != nil {
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, name, data); err != nil {
 			return false
 		}
 		fl.Flush()
@@ -597,9 +627,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	select {
 	case s.engine <- struct{}{}:
 		if s.met.shared {
-			text = s.db.MetricsText()
+			text = s.eng.MetricsText()
 		} else {
-			text = s.met.reg.PrometheusText() + s.db.MetricsText()
+			text = s.met.reg.PrometheusText() + s.eng.MetricsText()
 		}
 		<-s.engine
 	default:

@@ -1,0 +1,356 @@
+// Hash-partitioned table files: the interchange format between
+// `datagen -partitions N` and fleet shard bootstrap.
+//
+// One file per (table, partition), named <table>.p<index>.tbl. The first
+// line is a JSON header describing the table, partition, and schema; each
+// subsequent line is one row as a JSON array in schema column order. JSON
+// keeps the format stdlib-only and self-describing; the files are a
+// bootstrap path, not a storage engine, so write amplification is fine.
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"progressdb/internal/catalog"
+	"progressdb/internal/tuple"
+)
+
+// FileHeader is the first line of a partition file.
+type FileHeader struct {
+	Table      string `json:"table"`
+	Partition  int    `json:"partition"`
+	Partitions int    `json:"partitions"`
+	// Key is the partition-key column the rows were hashed on.
+	Key     string       `json:"key"`
+	Columns []FileColumn `json:"columns"`
+	Rows    int          `json:"rows"`
+}
+
+// FileColumn is one schema column in a FileHeader.
+type FileColumn struct {
+	Name string `json:"name"`
+	Type string `json:"type"` // INT, FLOAT, or TEXT (tuple.Type.String)
+}
+
+// PartitionFileName returns the on-disk name for one table partition.
+func PartitionFileName(table string, index int) string {
+	return fmt.Sprintf("%s.p%d.tbl", table, index)
+}
+
+// WritePartitionFiles generates the full data set once (same seed, same
+// row order as Load) and splits every table into parts hash-partitioned
+// files under dir. It returns the full-dataset counts.
+func WritePartitionFiles(dir string, cfg Config, parts int) (*Dataset, error) {
+	cfg = cfg.withDefaults()
+	if parts < 1 {
+		return nil, fmt.Errorf("workload: partitions %d < 1", parts)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	keys := PartitionKeys()
+
+	ds := &Dataset{Config: cfg}
+	for _, g := range cfg.generators(rng) {
+		counts, err := writeTableFiles(dir, g, keys[g.name], parts)
+		if err != nil {
+			return nil, err
+		}
+		total := 0
+		for _, n := range counts {
+			total += n
+		}
+		switch g.name {
+		case "customer":
+			ds.Customers = total
+		case "orders":
+			ds.Orders = total
+		case "lineitem":
+			ds.Lineitems = total
+		case "customer_subset1":
+			ds.Subset = total
+		}
+	}
+	return ds, nil
+}
+
+// writeTableFiles drains one generator into parts files. Rows are
+// buffered per partition and the header (which records the row count) is
+// written first, so readers can preallocate and validate truncation.
+func writeTableFiles(dir string, g tableGen, key string, parts int) ([]int, error) {
+	bufs := make([][]json.RawMessage, parts)
+	for i := 0; i < g.n; i++ {
+		row := g.row(i)
+		p := PartitionOf(g.key(i), parts)
+		enc, err := encodeRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("workload: encode %s row %d: %w", g.name, i, err)
+		}
+		bufs[p] = append(bufs[p], enc)
+	}
+
+	counts := make([]int, parts)
+	for p := 0; p < parts; p++ {
+		counts[p] = len(bufs[p])
+		hdr := FileHeader{
+			Table:      g.name,
+			Partition:  p,
+			Partitions: parts,
+			Key:        key,
+			Rows:       len(bufs[p]),
+		}
+		for _, c := range g.schema.Cols {
+			hdr.Columns = append(hdr.Columns, FileColumn{Name: c.Name, Type: c.Type.String()})
+		}
+		if err := writeOneFile(filepath.Join(dir, PartitionFileName(g.name, p)), hdr, bufs[p]); err != nil {
+			return nil, err
+		}
+	}
+	return counts, nil
+}
+
+func writeOneFile(path string, hdr FileHeader, rows []json.RawMessage) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	hb, err := json.Marshal(hdr)
+	if err == nil {
+		_, err = w.Write(append(hb, '\n'))
+	}
+	for _, r := range rows {
+		if err != nil {
+			break
+		}
+		if _, err = w.Write(r); err == nil {
+			err = w.WriteByte('\n')
+		}
+	}
+	if err == nil {
+		err = w.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("workload: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// encodeRow renders a tuple as a JSON array in column order.
+func encodeRow(row tuple.Tuple) (json.RawMessage, error) {
+	vals := make([]interface{}, len(row))
+	for i, v := range row {
+		switch v.Kind {
+		case tuple.Int:
+			vals[i] = v.I
+		case tuple.Float:
+			vals[i] = v.F
+		default:
+			vals[i] = v.S
+		}
+	}
+	return json.Marshal(vals)
+}
+
+// ReadPartitionFile loads one partition file. The returned rows are in
+// file order (which is generation order).
+func ReadPartitionFile(path string) (*FileHeader, []tuple.Tuple, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, nil, fmt.Errorf("workload: read %s: %w", path, err)
+		}
+		return nil, nil, fmt.Errorf("workload: %s: empty partition file", path)
+	}
+	var hdr FileHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, nil, fmt.Errorf("workload: %s: bad header: %w", path, err)
+	}
+	types := make([]tuple.Type, len(hdr.Columns))
+	for i, c := range hdr.Columns {
+		switch strings.ToUpper(c.Type) {
+		case "INT":
+			types[i] = tuple.Int
+		case "FLOAT":
+			types[i] = tuple.Float
+		case "TEXT":
+			types[i] = tuple.String
+		default:
+			return nil, nil, fmt.Errorf("workload: %s: unknown column type %q", path, c.Type)
+		}
+	}
+
+	rows := make([]tuple.Tuple, 0, hdr.Rows)
+	line := 1
+	for sc.Scan() {
+		line++
+		row, err := decodeFileRow(sc.Bytes(), types)
+		if err != nil {
+			return nil, nil, fmt.Errorf("workload: %s line %d: %w", path, line, err)
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("workload: read %s: %w", path, err)
+	}
+	if len(rows) != hdr.Rows {
+		return nil, nil, fmt.Errorf("workload: %s: header promises %d rows, file has %d (truncated?)", path, hdr.Rows, len(rows))
+	}
+	return &hdr, rows, nil
+}
+
+// decodeFileRow parses one JSON-array line against the header's column
+// types. json.Number round-trips int64 exactly where float64 would not.
+func decodeFileRow(b []byte, types []tuple.Type) (tuple.Tuple, error) {
+	dec := json.NewDecoder(strings.NewReader(string(b)))
+	dec.UseNumber()
+	var raw []interface{}
+	if err := dec.Decode(&raw); err != nil {
+		return nil, err
+	}
+	if len(raw) != len(types) {
+		return nil, fmt.Errorf("row has %d values, schema has %d columns", len(raw), len(types))
+	}
+	row := make(tuple.Tuple, len(raw))
+	for i, rv := range raw {
+		switch types[i] {
+		case tuple.Int:
+			n, ok := rv.(json.Number)
+			if !ok {
+				return nil, fmt.Errorf("column %d: expected number, got %T", i, rv)
+			}
+			v, err := n.Int64()
+			if err != nil {
+				return nil, fmt.Errorf("column %d: %w", i, err)
+			}
+			row[i] = tuple.NewInt(v)
+		case tuple.Float:
+			n, ok := rv.(json.Number)
+			if !ok {
+				return nil, fmt.Errorf("column %d: expected number, got %T", i, rv)
+			}
+			v, err := n.Float64()
+			if err != nil {
+				return nil, fmt.Errorf("column %d: %w", i, err)
+			}
+			row[i] = tuple.NewFloat(v)
+		default:
+			s, ok := rv.(string)
+			if !ok {
+				return nil, fmt.Errorf("column %d: expected string, got %T", i, rv)
+			}
+			row[i] = tuple.NewString(s)
+		}
+	}
+	return row, nil
+}
+
+// PartitionHeaders reads only the header line of every *.p<index>.tbl
+// file in dir — enough for a coordinator to learn table names, schemas,
+// and partition keys without streaming the rows.
+func PartitionHeaders(dir string, index int) ([]FileHeader, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, fmt.Sprintf("*.p%d.tbl", index)))
+	if err != nil {
+		return nil, err
+	}
+	if len(matches) == 0 {
+		return nil, fmt.Errorf("workload: no *.p%d.tbl files in %s", index, dir)
+	}
+	var out []FileHeader
+	for _, path := range matches {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		var hdr FileHeader
+		if !sc.Scan() {
+			err = sc.Err()
+			if err == nil {
+				err = fmt.Errorf("workload: %s: empty partition file", path)
+			}
+		} else {
+			err = json.Unmarshal(sc.Bytes(), &hdr)
+		}
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("workload: %s: bad header: %w", path, err)
+		}
+		out = append(out, hdr)
+	}
+	return out, nil
+}
+
+// LoadPartitionFiles bootstraps one shard's catalog from the partition
+// files in dir: every table whose .p<index>.tbl file exists is created,
+// filled, and analyzed. It returns the partition count recorded in the
+// headers so callers can validate it against their shard topology.
+func LoadPartitionFiles(cat *catalog.Catalog, dir string, index int) (int, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, fmt.Sprintf("*.p%d.tbl", index)))
+	if err != nil {
+		return 0, err
+	}
+	if len(matches) == 0 {
+		return 0, fmt.Errorf("workload: no *.p%d.tbl files in %s", index, dir)
+	}
+	parts := 0
+	for _, path := range matches {
+		hdr, rows, err := ReadPartitionFile(path)
+		if err != nil {
+			return 0, err
+		}
+		if hdr.Partition != index {
+			return 0, fmt.Errorf("workload: %s: header partition %d, want %d", path, hdr.Partition, index)
+		}
+		if parts == 0 {
+			parts = hdr.Partitions
+		} else if hdr.Partitions != parts {
+			return 0, fmt.Errorf("workload: %s: header partitions %d disagrees with %d", path, hdr.Partitions, parts)
+		}
+		cols := make([]tuple.Column, len(hdr.Columns))
+		for i, c := range hdr.Columns {
+			switch strings.ToUpper(c.Type) {
+			case "INT":
+				cols[i] = tuple.Column{Name: c.Name, Type: tuple.Int}
+			case "FLOAT":
+				cols[i] = tuple.Column{Name: c.Name, Type: tuple.Float}
+			default:
+				cols[i] = tuple.Column{Name: c.Name, Type: tuple.String}
+			}
+		}
+		t, err := cat.CreateTable(hdr.Table, tuple.NewSchema(cols...))
+		if err != nil {
+			return 0, err
+		}
+		for _, row := range rows {
+			if err := cat.Insert(t, row); err != nil {
+				return 0, err
+			}
+		}
+		if err := t.Heap.Sync(); err != nil {
+			return 0, err
+		}
+	}
+	if err := cat.AnalyzeAll(); err != nil {
+		return 0, err
+	}
+	return parts, nil
+}

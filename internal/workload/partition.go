@@ -1,0 +1,167 @@
+// Hash partitioning of the paper workload across fleet shards.
+//
+// Every table carries a designated partition key (PartitionKeys). A row
+// lives on shard PartitionOf(key, N). The assignment is chosen so the
+// paper's customer⋈orders join (on custkey) is co-partitioned and can be
+// answered shard-locally, while orders⋈lineitem (on orderkey, with orders
+// hashed by custkey) deliberately is not — the fleet coordinator must
+// detect and reject it rather than silently return partial join results.
+//
+// Determinism contract: partition filtering never changes the random
+// sequence. Generation always produces every row in the identical order
+// Load uses, and partitioning only decides where (or whether) each row is
+// kept, so the union of the N partitions is byte-identical to the
+// unpartitioned data set.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"progressdb/internal/tuple"
+)
+
+// PartitionSpec selects one hash partition of the generated data set.
+// The zero Count (or a nil *PartitionSpec) means "everything".
+type PartitionSpec struct {
+	// Index is the partition to keep, in [0, Count).
+	Index int
+	// Count is the total number of partitions.
+	Count int
+}
+
+func (p *PartitionSpec) validate() error {
+	if p == nil {
+		return nil
+	}
+	if p.Count < 1 {
+		return fmt.Errorf("workload: partition count %d < 1", p.Count)
+	}
+	if p.Index < 0 || p.Index >= p.Count {
+		return fmt.Errorf("workload: partition index %d out of range [0,%d)", p.Index, p.Count)
+	}
+	return nil
+}
+
+// owns reports whether the spec keeps a row with the given partition-key
+// value. A nil spec keeps everything.
+func (p *PartitionSpec) owns(key int64) bool {
+	return p == nil || p.Count <= 1 || PartitionOf(key, p.Count) == p.Index
+}
+
+// FNV-1a, the stdlib hash/fnv constants. Inlined so the routing decision
+// is a handful of integer ops with no allocation per row.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// PartitionOf maps an integer partition-key value to a shard in
+// [0, parts). It hashes the key's 8 little-endian bytes with FNV-1a
+// rather than taking key % parts directly: the workload's keys are dense
+// sequential integers, and a modulo scheme would stripe co-resident rows
+// pathologically (e.g. every r-th customer on the same shard).
+func PartitionOf(key int64, parts int) int {
+	if parts <= 1 {
+		return 0
+	}
+	h := uint64(fnvOffset64)
+	k := uint64(key)
+	for i := 0; i < 8; i++ {
+		h ^= k & 0xff
+		h *= fnvPrime64
+		k >>= 8
+	}
+	return int(h % uint64(parts))
+}
+
+// PartitionOfValue routes a tuple value: ints hash their value, strings
+// hash their bytes, floats hash their IEEE bits. Fleet inserts route
+// through this so user tables can partition on any column type.
+func PartitionOfValue(v tuple.Value, parts int) int {
+	if parts <= 1 {
+		return 0
+	}
+	switch v.Kind {
+	case tuple.String:
+		h := uint64(fnvOffset64)
+		for i := 0; i < len(v.S); i++ {
+			h ^= uint64(v.S[i])
+			h *= fnvPrime64
+		}
+		return int(h % uint64(parts))
+	case tuple.Float:
+		return PartitionOf(int64(math.Float64bits(v.F)), parts)
+	default:
+		return PartitionOf(v.I, parts)
+	}
+}
+
+// PartitionKeys returns the partition-key column of every paper table.
+func PartitionKeys() map[string]string {
+	return map[string]string{
+		"customer":         "custkey",
+		"orders":           "custkey", // co-partitioned with customer
+		"lineitem":         "orderkey",
+		"customer_subset1": "custkey",
+		"customer_subset2": "custkey",
+	}
+}
+
+// tableGen is one relation's deterministic row stream: n rows, the i-th
+// row's partition-key value, and the i-th row itself. The row closures
+// share one *rand.Rand, so callers must drain tables in slice order and
+// rows in index order — exactly what Load has always done.
+type tableGen struct {
+	name   string
+	schema *tuple.Schema
+	n      int
+	key    func(i int) int64
+	row    func(i int) tuple.Tuple
+}
+
+// generators returns the five relations' row streams in load order. The
+// caller owns rng; cfg must already have defaults applied.
+func (cfg Config) generators(rng *rand.Rand) []tableGen {
+	ncust := int(float64(BaseCustomers) * cfg.Scale)
+	if ncust < nations {
+		ncust = nations
+	}
+	orderCust := orderCustkeys(ncust, cfg.CorrelatedOrders)
+	nline := len(orderCust) * LinesPerOrder
+
+	gens := []tableGen{
+		{
+			name:   "customer",
+			schema: CustomerSchema(),
+			n:      ncust,
+			key:    func(i int) int64 { return int64(i) },
+			row:    func(i int) tuple.Tuple { return customerRow(i, rng) },
+		},
+		{
+			name:   "orders",
+			schema: OrdersSchema(),
+			n:      len(orderCust),
+			key:    func(i int) int64 { return orderCust[i] },
+			row:    func(i int) tuple.Tuple { return orderRow(i, orderCust[i], rng) },
+		},
+		{
+			name:   "lineitem",
+			schema: LineitemSchema(),
+			n:      nline,
+			key:    func(i int) int64 { return int64(i / LinesPerOrder) },
+			row:    func(i int) tuple.Tuple { return lineitemRow(i, rng) },
+		},
+	}
+	for _, name := range []string{"customer_subset1", "customer_subset2"} {
+		gens = append(gens, tableGen{
+			name:   name,
+			schema: CustomerSchema(),
+			n:      cfg.SubsetRows,
+			key:    func(i int) int64 { return int64(i) },
+			row:    func(i int) tuple.Tuple { return customerRow(i, rng) },
+		})
+	}
+	return gens
+}

@@ -36,6 +36,12 @@ type Config struct {
 	// SubsetRows is the size of customer_subset1/2 (paper: 3000). These
 	// do not scale: Q5 is CPU-bound at any data scale.
 	SubsetRows int
+	// Partition, when non-nil, loads only the rows whose partition key
+	// hashes to Partition.Index of Partition.Count shards (see
+	// PartitionKeys for each table's key). Generation still produces
+	// every row in the same order, so the union of all partitions is
+	// exactly the unpartitioned data set.
+	Partition *PartitionSpec
 }
 
 func (c Config) withDefaults() Config {
@@ -116,70 +122,45 @@ var (
 
 // Load generates and loads all five relations into cat, then analyzes
 // them (the paper runs the statistics collector before the experiments).
+// With cfg.Partition set, only the owned slice of each relation is
+// inserted; the Dataset counts then reflect the loaded partition, not the
+// full data set.
 func Load(cat *catalog.Catalog, cfg Config) (*Dataset, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.Partition.validate(); err != nil {
+		return nil, err
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	ncust := int(float64(BaseCustomers) * cfg.Scale)
-	if ncust < nations {
-		ncust = nations
-	}
 
-	ds := &Dataset{Config: cfg, Customers: ncust, Subset: cfg.SubsetRows}
-
-	cust, err := cat.CreateTable("customer", CustomerSchema())
-	if err != nil {
-		return nil, err
-	}
-	for i := 0; i < ncust; i++ {
-		if err := cat.Insert(cust, customerRow(i, rng)); err != nil {
-			return nil, err
-		}
-	}
-	if err := cust.Heap.Sync(); err != nil {
-		return nil, err
-	}
-
-	orders, err := cat.CreateTable("orders", OrdersSchema())
-	if err != nil {
-		return nil, err
-	}
-	orderCust := orderCustkeys(ncust, cfg.CorrelatedOrders)
-	ds.Orders = len(orderCust)
-	for i, ck := range orderCust {
-		if err := cat.Insert(orders, orderRow(i, ck, rng)); err != nil {
-			return nil, err
-		}
-	}
-	if err := orders.Heap.Sync(); err != nil {
-		return nil, err
-	}
-
-	line, err := cat.CreateTable("lineitem", LineitemSchema())
-	if err != nil {
-		return nil, err
-	}
-	ds.Lineitems = ds.Orders * LinesPerOrder
-	for i := 0; i < ds.Lineitems; i++ {
-		if err := cat.Insert(line, lineitemRow(i, rng)); err != nil {
-			return nil, err
-		}
-	}
-	if err := line.Heap.Sync(); err != nil {
-		return nil, err
-	}
-
-	for _, name := range []string{"customer_subset1", "customer_subset2"} {
-		sub, err := cat.CreateTable(name, CustomerSchema())
+	ds := &Dataset{Config: cfg}
+	for _, g := range cfg.generators(rng) {
+		t, err := cat.CreateTable(g.name, g.schema)
 		if err != nil {
 			return nil, err
 		}
-		for i := 0; i < cfg.SubsetRows; i++ {
-			if err := cat.Insert(sub, customerRow(i, rng)); err != nil {
+		kept := 0
+		for i := 0; i < g.n; i++ {
+			row := g.row(i) // always generated: the rng sequence must not depend on ownership
+			if !cfg.Partition.owns(g.key(i)) {
+				continue
+			}
+			if err := cat.Insert(t, row); err != nil {
 				return nil, err
 			}
+			kept++
 		}
-		if err := sub.Heap.Sync(); err != nil {
+		if err := t.Heap.Sync(); err != nil {
 			return nil, err
+		}
+		switch g.name {
+		case "customer":
+			ds.Customers = kept
+		case "orders":
+			ds.Orders = kept
+		case "lineitem":
+			ds.Lineitems = kept
+		case "customer_subset1":
+			ds.Subset = kept
 		}
 	}
 

@@ -312,6 +312,28 @@ func (db *DB) LoadPaperWorkload(scale float64, correlated bool) error {
 	return err
 }
 
+// LoadPaperWorkloadPartition loads only hash partition `partition` of
+// `of` shards of the paper data set (see workload.PartitionKeys for each
+// table's partition key). Generation is deterministic and ownership-
+// independent, so the union of the `of` partitions equals the full
+// LoadPaperWorkload data set exactly. Fleet shards bootstrap through
+// this.
+func (db *DB) LoadPaperWorkloadPartition(scale float64, correlated bool, partition, of int) error {
+	_, err := workload.Load(db.cat, workload.Config{
+		Scale: scale, CorrelatedOrders: correlated,
+		Partition: &workload.PartitionSpec{Index: partition, Count: of},
+	})
+	return err
+}
+
+// LoadPartitionFiles bootstraps this engine from datagen -partitions
+// output: every <table>.p<partition>.tbl file in dir is created, filled,
+// and analyzed. The returned count is the partition count recorded in the
+// file headers.
+func (db *DB) LoadPartitionFiles(dir string, partition int) (int, error) {
+	return workload.LoadPartitionFiles(db.cat, dir, partition)
+}
+
 // PaperQuery returns the paper's query Q1–Q5, verbatim.
 func PaperQuery(n int) (string, error) { return workload.QuerySQL(n) }
 
