@@ -52,7 +52,13 @@ echo "== progressd smoke =="
 # windowed points), /api/history/{id} (the finished query's profile),
 # and the -debug-addr surface (/debug/pprof/cmdline, /debug/runtime) —
 # before shutting down cleanly. Each check asserts a 200 and, for the
-# JSON endpoints, a well-formed decoded body.
+# JSON endpoints, a well-formed decoded body. The smoke then drives
+# the resilience surface on a budget-capped server (-max-inflight-u
+# semantics, DESIGN.md §10): a second submit shed with 429, reason
+# "budget", Retry-After >= 1s; /healthz budget figures; /admin/drain
+# force-canceling a paced query exactly once; post-drain submits shed
+# with 503 "draining"; and the server_shed_total / server_drains_total
+# metrics to match.
 "$bindir"/progressd -smoke
 
 echo "== progressd fleet smoke =="

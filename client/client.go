@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -34,15 +35,25 @@ func (c *Client) BaseURL() string { return c.base }
 
 // APIError is a non-2xx server response.
 type APIError struct {
-	// Status is the HTTP status code (429 = admission queue full).
+	// Status is the HTTP status code (429 = shed by admission control).
 	Status int
 	// Msg is the server's error message.
 	Msg string
-	// QueueDepth accompanies 429: the full queue's capacity.
+	// QueueDepth accompanies queue-full sheds: the full queue's capacity.
 	QueueDepth int
+	// Reason is the shed reason on 429/503 admission rejections: one of
+	// the Shed* constants ("" on older servers and non-admission errors).
+	Reason string
+	// RetryAfterSeconds is the server's capacity estimate on a shed, from
+	// the response body (sub-second precision) or the Retry-After header;
+	// 0 when the server attached none.
+	RetryAfterSeconds float64
 }
 
 func (e *APIError) Error() string {
+	if e.Reason != "" {
+		return fmt.Sprintf("progressd: %d (shed: %s): %s", e.Status, e.Reason, e.Msg)
+	}
 	return fmt.Sprintf("progressd: %d: %s", e.Status, e.Msg)
 }
 
@@ -50,6 +61,16 @@ func (e *APIError) Error() string {
 func IsQueueFull(err error) bool {
 	var ae *APIError
 	return errors.As(err, &ae) && ae.Status == http.StatusTooManyRequests
+}
+
+// ShedReason extracts the admission shed reason from err ("" when err is
+// not a shed rejection).
+func ShedReason(err error) string {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Reason
+	}
+	return ""
 }
 
 // CloseIdleConnections closes keep-alive connections the client is no
@@ -96,8 +117,17 @@ func apiError(resp *http.Response) error {
 	data, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
 	if json.Unmarshal(data, &er) == nil && er.Error != "" {
 		ae.Msg, ae.QueueDepth = er.Error, er.QueueDepth
+		ae.Reason, ae.RetryAfterSeconds = er.Reason, er.RetryAfterSeconds
 	} else {
 		ae.Msg = strings.TrimSpace(string(data))
+	}
+	if ae.RetryAfterSeconds == 0 {
+		// Fall back to the standard header (whole seconds).
+		if v := resp.Header.Get("Retry-After"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n > 0 {
+				ae.RetryAfterSeconds = float64(n)
+			}
+		}
 	}
 	return ae
 }
@@ -108,6 +138,131 @@ func apiError(resp *http.Response) error {
 func (c *Client) Submit(ctx context.Context, req SubmitRequest) (SubmitResponse, error) {
 	var out SubmitResponse
 	err := c.do(ctx, http.MethodPost, "/queries", req, &out)
+	return out, err
+}
+
+// RetryPolicy shapes SubmitWithRetry's backoff. The zero value means
+// the documented defaults.
+type RetryPolicy struct {
+	// MaxAttempts bounds total submit attempts (default 8).
+	MaxAttempts int
+	// BaseBackoff seeds the exponential fallback delay used when the
+	// server attaches no Retry-After estimate (default 100ms, doubling).
+	BaseBackoff time.Duration
+	// MaxBackoff caps any single wait, server-advised or not (default 5s).
+	MaxBackoff time.Duration
+	// NoJitter disables the random up-to-+20% spread added to each wait.
+	// Leave it false in production — jitter is what keeps a crowd of
+	// shed clients from re-stampeding the server in lockstep.
+	NoJitter bool
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 8
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 100 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 5 * time.Second
+	}
+	return p
+}
+
+// retryableShed reports whether a shed is worth retrying: capacity sheds
+// (queue full, budget exhausted) clear as in-flight work drains; a
+// deadline shed will fail the same way every time, and a draining server
+// is going away.
+func retryableShed(ae *APIError) bool {
+	if ae.Status != http.StatusTooManyRequests {
+		return false
+	}
+	switch ae.Reason {
+	case ShedQueueFull, ShedBudget:
+		return true
+	case "":
+		return true // older servers shed without a reason; 429 is capacity
+	}
+	return false
+}
+
+// SubmitWithRetry submits a query, absorbing capacity sheds (429 with
+// reason "queue_full" or "budget") by waiting and resubmitting. The wait
+// honors the server's Retry-After estimate when present — that figure is
+// derived from the remaining-time estimate of the cheapest in-flight
+// query, so it approximates when budget actually frees — and falls back
+// to exponential backoff otherwise; every wait is jittered (up to +20%)
+// and capped by the policy. Non-capacity errors (including deadline and
+// draining sheds) are returned immediately.
+func (c *Client) SubmitWithRetry(ctx context.Context, req SubmitRequest, policy RetryPolicy) (SubmitResponse, error) {
+	policy = policy.withDefaults()
+	fallback := policy.BaseBackoff
+	var lastErr error
+	for attempt := 1; attempt <= policy.MaxAttempts; attempt++ {
+		out, err := c.Submit(ctx, req)
+		if err == nil {
+			return out, nil
+		}
+		lastErr = err
+		var ae *APIError
+		if !errors.As(err, &ae) || !retryableShed(ae) {
+			return SubmitResponse{}, err
+		}
+		wait := fallback
+		fallback *= 2
+		if ae.RetryAfterSeconds > 0 {
+			wait = time.Duration(ae.RetryAfterSeconds * float64(time.Second))
+		}
+		if !policy.NoJitter {
+			wait += time.Duration(rand.Int63n(int64(wait)/5 + 1))
+		}
+		if wait > policy.MaxBackoff {
+			wait = policy.MaxBackoff
+		}
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return SubmitResponse{}, ctx.Err()
+		}
+	}
+	return SubmitResponse{}, fmt.Errorf("client: submit shed %d times, giving up: %w", policy.MaxAttempts, lastErr)
+}
+
+// SubmitAndWait submits with retry and then follows the query's progress
+// stream to its terminal event, invoking onEvent (when non-nil) for every
+// event along the way. It returns the query's final lifecycle snapshot;
+// a query that ends failed or canceled is reported through the snapshot's
+// State/Error fields, not through the error return (which covers
+// transport and admission problems only).
+func (c *Client) SubmitAndWait(ctx context.Context, req SubmitRequest, policy RetryPolicy, onEvent func(ProgressEvent)) (QueryInfo, error) {
+	sub, err := c.SubmitWithRetry(ctx, req, policy)
+	if err != nil {
+		return QueryInfo{}, err
+	}
+	err = c.Stream(ctx, sub.ID, func(ev ProgressEvent) error {
+		if onEvent != nil {
+			onEvent(ev)
+		}
+		return nil
+	})
+	if err != nil {
+		return QueryInfo{}, err
+	}
+	return c.Get(ctx, sub.ID)
+}
+
+// Drain asks the server to drain (POST /admin/drain): stop admitting,
+// wait up to timeout for in-flight queries, then force-cancel stragglers.
+// timeout <= 0 uses the server's configured default. The call blocks
+// until the drain resolves.
+func (c *Client) Drain(ctx context.Context, timeout time.Duration) (DrainResponse, error) {
+	path := "/admin/drain"
+	if timeout > 0 {
+		path += "?timeout_ms=" + strconv.FormatInt(timeout.Milliseconds(), 10)
+	}
+	var out DrainResponse
+	err := c.do(ctx, http.MethodPost, path, nil, &out)
 	return out, err
 }
 

@@ -1,0 +1,144 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// shedServer returns an httptest server whose /queries endpoint sheds the
+// first n submits with the given status/reason, then admits. The shed
+// body carries retry_after_seconds so the client backoff is server-paced.
+func shedServer(n int, status int, reason string, retryAfter float64) (*httptest.Server, *int) {
+	attempts := new(int)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /queries", func(w http.ResponseWriter, r *http.Request) {
+		*attempts++
+		if *attempts <= n {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(status)
+			json.NewEncoder(w).Encode(ErrorResponse{
+				Error: "overloaded", Reason: reason, RetryAfterSeconds: retryAfter,
+			})
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(SubmitResponse{ID: "q-ok", State: StateQueued})
+	})
+	return httptest.NewServer(mux), attempts
+}
+
+// TestSubmitWithRetryHonorsRetryAfter: shed submits are retried after the
+// server-provided retry_after_seconds, and the eventual admit is returned.
+func TestSubmitWithRetryHonorsRetryAfter(t *testing.T) {
+	ts, attempts := shedServer(2, http.StatusTooManyRequests, ShedBudget, 0.03)
+	defer ts.Close()
+	cl := New(ts.URL)
+
+	start := time.Now()
+	sub, err := cl.SubmitWithRetry(context.Background(), SubmitRequest{SQL: "select 1"},
+		RetryPolicy{MaxAttempts: 5, NoJitter: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.ID != "q-ok" || *attempts != 3 {
+		t.Fatalf("id=%q attempts=%d, want q-ok after 3 attempts", sub.ID, *attempts)
+	}
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Fatalf("retried after %v, want >= 2 × 30ms server-paced backoff", elapsed)
+	}
+}
+
+// TestSubmitWithRetryGivesUp: MaxAttempts bounds the retries and the
+// final error still exposes the shed reason.
+func TestSubmitWithRetryGivesUp(t *testing.T) {
+	ts, attempts := shedServer(100, http.StatusTooManyRequests, ShedBudget, 0.005)
+	defer ts.Close()
+	cl := New(ts.URL)
+
+	_, err := cl.SubmitWithRetry(context.Background(), SubmitRequest{SQL: "select 1"},
+		RetryPolicy{MaxAttempts: 3, NoJitter: true})
+	if err == nil {
+		t.Fatal("submit succeeded against a permanently shedding server")
+	}
+	if *attempts != 3 {
+		t.Fatalf("attempts = %d, want 3", *attempts)
+	}
+	if ShedReason(err) != ShedBudget {
+		t.Fatalf("final error lost the shed reason: %v", err)
+	}
+	if !strings.Contains(err.Error(), "giving up") {
+		t.Fatalf("final error does not mark exhaustion: %v", err)
+	}
+}
+
+// TestSubmitWithRetryNonRetryable: deadline sheds and draining (503)
+// responses fail immediately — retrying cannot help either.
+func TestSubmitWithRetryNonRetryable(t *testing.T) {
+	cases := []struct {
+		status int
+		reason string
+	}{
+		{http.StatusTooManyRequests, ShedDeadline},
+		{http.StatusServiceUnavailable, ShedDraining},
+	}
+	for _, tc := range cases {
+		ts, attempts := shedServer(100, tc.status, tc.reason, 0.005)
+		cl := New(ts.URL)
+		_, err := cl.SubmitWithRetry(context.Background(), SubmitRequest{SQL: "select 1"},
+			RetryPolicy{MaxAttempts: 5, NoJitter: true})
+		ts.Close()
+		if err == nil || *attempts != 1 {
+			t.Fatalf("%s: attempts=%d err=%v, want single non-retried failure", tc.reason, *attempts, err)
+		}
+		if ShedReason(err) != tc.reason {
+			t.Fatalf("%s: error lost the reason: %v", tc.reason, err)
+		}
+	}
+}
+
+// TestSubmitWithRetryContextCancel: a canceled context interrupts the
+// backoff sleep rather than waiting it out.
+func TestSubmitWithRetryContextCancel(t *testing.T) {
+	ts, _ := shedServer(100, http.StatusTooManyRequests, ShedQueueFull, 30)
+	defer ts.Close()
+	cl := New(ts.URL)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := cl.SubmitWithRetry(ctx, SubmitRequest{SQL: "select 1"},
+		RetryPolicy{MaxAttempts: 5, NoJitter: true})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context deadline", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancel took %v; backoff sleep is not context-aware", elapsed)
+	}
+}
+
+// TestAPIErrorHeaderFallback: a 429 with only a Retry-After header (no
+// structured body) still populates RetryAfterSeconds.
+func TestAPIErrorHeaderFallback(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte("busy"))
+	}))
+	defer ts.Close()
+	cl := New(ts.URL)
+
+	_, err := cl.Submit(context.Background(), SubmitRequest{SQL: "select 1"})
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %T %v, want *APIError", err, err)
+	}
+	if ae.RetryAfterSeconds != 7 {
+		t.Fatalf("RetryAfterSeconds = %g, want 7 from header", ae.RetryAfterSeconds)
+	}
+}

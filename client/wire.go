@@ -52,6 +52,13 @@ type SubmitRequest struct {
 	// watches the progress bar advance and has time to cancel. 0 runs
 	// at full speed.
 	PaceMS int `json:"pace_ms,omitempty"`
+	// DeadlineMS, when > 0, is the client's completion deadline in real
+	// milliseconds from submission. The server fails fast at admission
+	// (429, reason "deadline") when the queue's estimated drain time
+	// plus this query's estimated cost already exceeds the deadline —
+	// rejecting in microseconds what would otherwise time out after
+	// seconds of queueing.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // SubmitResponse is the 202 body of POST /queries.
@@ -63,12 +70,35 @@ type SubmitResponse struct {
 	QueuePosition int `json:"queue_position,omitempty"`
 }
 
+// Shed reasons carried on 429/503 rejection bodies.
+const (
+	// ShedQueueFull: the bounded admission queue is at capacity.
+	ShedQueueFull = "queue_full"
+	// ShedBudget: admitting the query would push the in-flight
+	// remaining-work estimate past the server's -max-inflight-u budget.
+	ShedBudget = "budget"
+	// ShedDeadline: the query's estimated completion time already
+	// exceeds its deadline_ms.
+	ShedDeadline = "deadline"
+	// ShedDraining: the server is draining for shutdown and admits
+	// nothing new.
+	ShedDraining = "draining"
+)
+
 // ErrorResponse is the JSON body of a non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`
 	// QueueDepth is set on 429 responses: the admission queue's
 	// capacity, all of it in use.
 	QueueDepth int `json:"queue_depth,omitempty"`
+	// Reason classifies a shed (429/503) response: one of the Shed*
+	// constants.
+	Reason string `json:"reason,omitempty"`
+	// RetryAfterSeconds mirrors the Retry-After header on 429 responses
+	// with sub-second precision: the server's estimate of when capacity
+	// frees up, derived from the remaining-time estimate of the
+	// cheapest in-flight query.
+	RetryAfterSeconds float64 `json:"retry_after_seconds,omitempty"`
 }
 
 // SegmentDetail is the executing segment's Section 4.5 estimator state.
@@ -223,10 +253,47 @@ type ResultResponse struct {
 
 // HealthResponse is GET /healthz.
 type HealthResponse struct {
+	// Status is "ok", or "draining" once shutdown has begun.
 	Status  string `json:"status"`
 	Queued  int    `json:"queued"`
 	Running int    `json:"running"`
 	Workers int    `json:"workers"`
+	// InflightU is the admission controller's current remaining-work
+	// estimate across admitted queries (sum of est_total_u − done_u, in
+	// U) and InflightQueries how many queries it covers.
+	InflightU       float64 `json:"inflight_u"`
+	InflightQueries int     `json:"inflight_queries"`
+	// MaxInflightU echoes the configured budget (0 = unlimited).
+	MaxInflightU float64 `json:"max_inflight_u,omitempty"`
+	// Shards is the per-shard health/breaker breakdown on fleet
+	// deployments; absent on single-engine servers.
+	Shards []ShardHealth `json:"shards,omitempty"`
+}
+
+// ShardHealth is one shard's resilience summary inside HealthResponse.
+type ShardHealth struct {
+	Shard int `json:"shard"`
+	// Breaker is the shard's circuit breaker state: "closed", "open",
+	// or "half_open".
+	Breaker string `json:"breaker"`
+	// ConsecutiveFailures is the current subquery failure streak.
+	ConsecutiveFailures int `json:"consecutive_failures,omitempty"`
+	// Retries / Trips / FastFails are lifetime counts: transient-fault
+	// subquery retries, breaker trips, and fan-outs rejected while open.
+	Retries   int64 `json:"retries,omitempty"`
+	Trips     int64 `json:"trips,omitempty"`
+	FastFails int64 `json:"fast_fails,omitempty"`
+}
+
+// DrainResponse is POST /admin/drain: the outcome of a graceful drain.
+type DrainResponse struct {
+	// Drained is true when every in-flight query finished inside the
+	// drain deadline; false when the deadline forced cancellations.
+	Drained bool `json:"drained"`
+	// ForcedCancels is how many queries were canceled at the deadline.
+	ForcedCancels int `json:"forced_cancels"`
+	// WaitedMS is how long the drain waited, in real milliseconds.
+	WaitedMS int64 `json:"waited_ms"`
 }
 
 // ---- observability plane: /api/timeseries, /api/history -------------

@@ -18,6 +18,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -49,6 +50,8 @@ func main() {
 	sample := flag.Duration("sample-interval", time.Second, "timeseries sampler cadence behind /api/timeseries (negative disables)")
 	histDepth := flag.Int("history-depth", 256, "completed-query profiles retained behind /api/history")
 	keepAlive := flag.Duration("keepalive", 15*time.Second, "SSE idle keep-alive interval (negative disables pings)")
+	maxInflightU := flag.Float64("max-inflight-u", 0, "in-flight remaining-work admission budget in U (0 = unlimited); excess submits are shed with 429 + Retry-After")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long SIGTERM / POST /admin/drain waits for in-flight queries before force-canceling")
 	debugAddr := flag.String("debug-addr", "", "optional listen address for /debug/pprof and /debug/runtime (e.g. 127.0.0.1:6060); empty disables")
 	smoke := flag.Bool("smoke", false, "run the self-test (submit, stream, cancel, dashboard + observability API checks, clean shutdown) and exit")
 	flag.Parse()
@@ -96,6 +99,8 @@ func main() {
 		SampleInterval: *sample,
 		HistoryDepth:   *histDepth,
 		KeepAlive:      *keepAlive,
+		MaxInflightU:   *maxInflightU,
+		DrainTimeout:   *drainTimeout,
 	}
 
 	var srv *server.Server
@@ -159,7 +164,13 @@ func main() {
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		fmt.Printf("\nprogressd: %s, shutting down\n", sig)
+		// Graceful drain: stop admitting (new submits shed with reason
+		// "draining"), let in-flight queries finish within the drain
+		// deadline, force-cancel stragglers at their next safe point.
+		fmt.Printf("\nprogressd: %s, draining (up to %s)\n", sig, *drainTimeout)
+		dr := srv.Drain(*drainTimeout)
+		fmt.Printf("progressd: drain done in %d ms (clean=%v, forced cancels=%d), shutting down\n",
+			dr.WaitedMS, dr.Drained, dr.ForcedCancels)
 	case err := <-errc:
 		fmt.Fprintln(os.Stderr, "progressd:", err)
 	}
@@ -277,6 +288,130 @@ func runSmoke() error {
 	if err := smokeObservability(ctx, cl, "http://"+ln.Addr().String(), sub2.ID); err != nil {
 		return err
 	}
+
+	shCtx, shCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shCancel()
+	if err := hs.Shutdown(shCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	srv.Close()
+
+	return smokeResilience(ctx)
+}
+
+// smokeResilience exercises the admission-control and drain surface on a
+// dedicated server: drive it into a budget shed (429 + Retry-After with
+// reason "budget"), check /healthz reports the remaining-work budget,
+// then drain with a short deadline and verify the running query is
+// force-canceled and further submits are shed with reason "draining".
+func smokeResilience(ctx context.Context) error {
+	db := progressdb.Open(progressdb.Config{
+		ProgressUpdateSeconds: 0.25,
+		SpeedWindowSeconds:    1,
+		SeqPageCost:           0.05,
+		BufferPoolPages:       64,
+		Metrics:               true,
+	})
+	db.MustCreateTable("t", progressdb.Col("k", progressdb.Int), progressdb.Col("pad", progressdb.Text))
+	pad := strings.Repeat("x", 100)
+	for i := 0; i < 20000; i++ {
+		db.MustInsert("t", int64(i), pad)
+	}
+	if err := db.Analyze(); err != nil {
+		return err
+	}
+	const sql = "select * from t"
+	// Size the budget to fit exactly one scan: the first submit is
+	// admitted, the second is shed while the first still has most of its
+	// work outstanding.
+	costU, err := db.EstimateCostU(sql)
+	if err != nil {
+		return fmt.Errorf("estimate: %w", err)
+	}
+	srv := server.New(db, server.Config{
+		Workers:        1,
+		QueueDepth:     4,
+		MaxInflightU:   1.5 * costU,
+		SampleInterval: -1,
+	})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	cl := client.New("http://" + ln.Addr().String())
+
+	sub, err := cl.Submit(ctx, client.SubmitRequest{SQL: sql, Name: "shed-victim", PaceMS: 50})
+	if err != nil {
+		return fmt.Errorf("submit paced: %w", err)
+	}
+	_, err = cl.Submit(ctx, client.SubmitRequest{SQL: sql, Name: "shed-me"})
+	if err == nil {
+		return fmt.Errorf("second submit admitted; want budget shed (budget %.0f U, cost %.0f U)", 1.5*costU, costU)
+	}
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusTooManyRequests {
+		return fmt.Errorf("second submit: %w; want 429", err)
+	}
+	if ae.Reason != client.ShedBudget {
+		return fmt.Errorf("shed reason = %q, want %q", ae.Reason, client.ShedBudget)
+	}
+	if ae.RetryAfterSeconds < 1 {
+		return fmt.Errorf("shed carried Retry-After %.2fs, want >= 1s", ae.RetryAfterSeconds)
+	}
+	fmt.Printf("progressd smoke: budget shed ok (429 reason=%s retry-after=%.0fs)\n", ae.Reason, ae.RetryAfterSeconds)
+
+	h, err := cl.Health(ctx)
+	if err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	if h.InflightQueries != 1 || h.MaxInflightU != 1.5*costU {
+		return fmt.Errorf("healthz budget: inflight_queries=%d max_inflight_u=%.0f, want 1 and %.0f",
+			h.InflightQueries, h.MaxInflightU, 1.5*costU)
+	}
+
+	// Drain with a deadline far shorter than the paced query: it must be
+	// force-canceled, exactly once, and the server must stop admitting.
+	dr, err := cl.Drain(ctx, 200*time.Millisecond)
+	if err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if dr.Drained || dr.ForcedCancels != 1 {
+		return fmt.Errorf("drain: clean=%v forced=%d, want forced cancel of the paced query", dr.Drained, dr.ForcedCancels)
+	}
+	info, err := cl.Get(ctx, sub.ID)
+	if err != nil {
+		return err
+	}
+	if info.State != client.StateCanceled {
+		return fmt.Errorf("drained query state = %s, want canceled", info.State)
+	}
+	if h, err = cl.Health(ctx); err != nil || h.Status != "draining" {
+		return fmt.Errorf("healthz after drain: status=%q err=%w, want draining", h.Status, err)
+	}
+	_, err = cl.Submit(ctx, client.SubmitRequest{SQL: sql, Name: "too-late"})
+	if client.ShedReason(err) != client.ShedDraining {
+		return fmt.Errorf("submit after drain: %w, want shed reason %q", err, client.ShedDraining)
+	}
+	text, err := cl.MetricsText(ctx)
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{
+		`server_shed_total{reason="budget"} 1`,
+		`server_shed_total{reason="draining"} 1`,
+		"server_drains_total 1",
+		"server_drain_forced_cancels_total 1",
+		"server_draining 1",
+	} {
+		if !strings.Contains(text, want) {
+			return fmt.Errorf("/metrics missing %q", want)
+		}
+	}
+	fmt.Printf("progressd smoke: drain ok (forced=%d in %d ms), admission closed\n", dr.ForcedCancels, dr.WaitedMS)
 
 	shCtx, shCancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer shCancel()

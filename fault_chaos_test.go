@@ -297,6 +297,57 @@ func TestFaultMatrixSmoke(t *testing.T) {
 	}
 }
 
+// TestTransientFaultsAbsorbed pins the storage layer's transient-fault
+// contract that the fleet coordinator's retry/breaker layer builds on: a
+// transient burst shorter than the bufferpool's per-access attempt
+// budget (4 tries) is absorbed entirely inside the engine — the query
+// succeeds with the correct result, the retry counters move, and the
+// caller never sees an error.
+func TestTransientFaultsAbsorbed(t *testing.T) {
+	db := chaosDB(t)
+	const q = "select * from r where v < 50"
+	base, err := db.Exec(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprint(base)
+	if err := db.ColdRestart(); err != nil {
+		t.Fatal(err) // the schedule targets disk reads; drop the warm pool
+	}
+
+	// readerr=1 faults every read until the cap: 3 consecutive transient
+	// faults on the first access, all inside the 4-attempt budget.
+	if err := db.SetFaultSpec("seed=5,readerr=1,transient=1,max=3,target=base"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec(q, nil)
+	st := db.FaultStats()
+	if serr := db.SetFaultSpec(""); serr != nil {
+		t.Fatal(serr)
+	}
+	if err != nil {
+		t.Fatalf("transient burst under the attempt budget surfaced: %v", err)
+	}
+	if fingerprint(res) != want {
+		t.Fatal("transient burst changed the result")
+	}
+	if st.TransientFaults != 3 {
+		t.Fatalf("fault stats = %+v, want exactly 3 transient faults", st)
+	}
+	var retries float64
+	for _, sm := range db.Metrics() {
+		if sm.Name == "storage_io_retries_total" {
+			retries = sm.Value
+		}
+	}
+	if retries < 3 {
+		t.Fatalf("storage_io_retries_total = %g, want >= 3", retries)
+	}
+	if err := db.CheckLeaks(); err != nil {
+		t.Fatalf("after absorbed transients: %v", err)
+	}
+}
+
 // TestInjectedPanicContained: a scheduled panic mid-query surfaces as a
 // typed *exec.InternalError, fails only that query, and leaks nothing.
 func TestInjectedPanicContained(t *testing.T) {

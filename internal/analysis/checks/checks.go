@@ -37,6 +37,10 @@ var enginePackages = []string{
 	"progressdb/internal/optimizer",
 	"progressdb/internal/txn",
 	"progressdb/internal/btree",
+	// The fleet coordinator charges retry backoff to shard vclocks so
+	// failover replays deterministically under seeded fault schedules; a
+	// wall-clock sleep in the retry loop would break that replay.
+	"progressdb/internal/fleet",
 }
 
 // isEnginePackage reports whether path is (or is nested under) one of
@@ -54,4 +58,10 @@ func isEnginePackage(path string) bool {
 // loops and operators carry the safe-point and close-path invariants.
 func isExecPackage(path string) bool {
 	return path == "progressdb/internal/exec"
+}
+
+// isFleetPackage reports whether path is the fleet coordinator, whose
+// retry loops carry the context-liveness invariant.
+func isFleetPackage(path string) bool {
+	return path == "progressdb/internal/fleet"
 }

@@ -18,6 +18,12 @@ func register(reg *obs.Registry, dynamic string) {
 	reg.Counter("fleet_subqueries_total", "per-shard subqueries launched")
 	reg.LabeledGauge("fleet_shard_percent", "shard", "0", "per-shard progress")
 	reg.LabeledGauge("fleet_shard_percent", "shard", "1", "per-shard progress")
+	// Resilience metrics: shed reasons are a labeled counter family,
+	// breaker state a per-shard labeled gauge, retries a plain counter.
+	reg.LabeledCounter("server_shed_total", "reason", "budget", "sheds by reason")
+	reg.LabeledCounter("server_shed_total", "reason", "draining", "sheds by reason")
+	reg.LabeledGauge("fleet_shard_breaker_state", "shard", "0", "0 closed, 1 open, 2 half-open")
+	reg.Counter("fleet_retries_total", "subquery retries across shards")
 
 	reg.Counter(dynamic, "computed name")                   // want `must be a literal string`
 	reg.Counter("storageIoRetries", "camel case")           // want `not snake_case`

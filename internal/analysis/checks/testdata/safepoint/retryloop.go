@@ -1,0 +1,103 @@
+// Fixture for the safepoint analyzer's fleet rule: condition-less retry
+// loops that re-execute a shard subquery (Exec*Context) must poll their
+// context between attempts — ctx.Err() or ctx.Done() — so cancellation
+// is not deferred past the retry budget. Checked under the assumed path
+// progressdb/internal/fleet.
+package fixture
+
+import (
+	"context"
+	"errors"
+)
+
+type shardDB struct{}
+
+func (shardDB) ExecContext(ctx context.Context, sql string) (int, error)        { return 0, nil }
+func (shardDB) ExecDiscardContext(ctx context.Context, sql string) (int, error) { return 0, nil }
+func (shardDB) Idle(seconds float64)                                            {}
+
+var errTransient = errors.New("transient io fault")
+
+// goodRetry is the coordinator's shape: the exit test polls ctx.Err()
+// every attempt, so a canceled query stops retrying immediately.
+func goodRetry(ctx context.Context, db shardDB, sql string) (int, error) {
+	backoff := 0.01
+	for attempt := 1; ; attempt++ {
+		n, err := db.ExecContext(ctx, sql)
+		if err == nil {
+			return n, nil
+		}
+		if attempt > 2 || !errors.Is(err, errTransient) || ctx.Err() != nil {
+			return 0, err
+		}
+		db.Idle(backoff)
+		backoff *= 2
+	}
+}
+
+// goodDone drains the Done channel instead of calling Err; also safe.
+func goodDone(ctx context.Context, db shardDB, sql string) error {
+	for {
+		if _, err := db.ExecDiscardContext(ctx, sql); err == nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+	}
+}
+
+// badRetry never consults the context: a canceled query keeps replaying
+// the faulting subquery until the transient classification changes.
+func badRetry(ctx context.Context, db shardDB, sql string) (int, error) {
+	for { // want `fleet retry loop re-executes a subquery without a context liveness check`
+		n, err := db.ExecContext(ctx, sql)
+		if err == nil {
+			return n, nil
+		}
+		if !errors.Is(err, errTransient) {
+			return 0, err
+		}
+		db.Idle(0.01)
+	}
+}
+
+// notErrOnContext calls an Err() that is not context.Context's — the
+// type check must not mistake it for a liveness poll.
+type fakeCtx struct{}
+
+func (fakeCtx) Err() error { return nil }
+
+func badFakePoll(ctx context.Context, fc fakeCtx, db shardDB, sql string) error {
+	for { // want `fleet retry loop re-executes a subquery without a context liveness check`
+		if _, err := db.ExecContext(ctx, sql); err == nil {
+			return nil
+		}
+		if fc.Err() != nil {
+			return nil
+		}
+	}
+}
+
+// boundedRetry has a loop condition: per the exec rule, bounded loops
+// are out of scope — the budget itself bounds the deferred cancellation.
+func boundedRetry(ctx context.Context, db shardDB, sql string) {
+	for i := 0; i < 3; i++ {
+		db.ExecContext(ctx, sql)
+	}
+}
+
+// mergeLoop performs no subquery execution; condition-less loops over
+// in-memory merge state are not retry loops.
+func mergeLoop(rows []int) int {
+	total, i := 0, 0
+	for {
+		if i >= len(rows) {
+			return total
+		}
+		total += rows[i]
+		i++
+	}
+}

@@ -116,3 +116,80 @@ func TestFleetChaosConcurrentQueries(t *testing.T) {
 		t.Fatalf("leaks after chaos load: %v", err)
 	}
 }
+
+// TestFleetChaosTransientOnly is the retry/breaker chaos schedule: two
+// shards carry transient-heavy fault bursts sized to stay inside the
+// storage retry budget plus the coordinator's subquery retry budget.
+// The invariant is stronger than error-or-correct — a transient-only
+// schedule must NEVER surface an error to the fleet's caller: every
+// query returns the correct answer, progress stays monotone across
+// retries, no breaker trips, and nothing leaks.
+func TestFleetChaosTransientOnly(t *testing.T) {
+	f := paperFleet(t, 4)
+	if err := f.ColdRestart(); err != nil {
+		t.Fatal(err) // schedules target disk reads; drop the warm pool
+	}
+	ref := referenceDB(t)
+
+	// Shard 0 burns its burst inside the bufferpool's 4-attempt budget
+	// plus one coordinator retry; shard 2 needs the full two-retry
+	// budget. Shards 1 and 3 stay clean and should see zero retries.
+	specs := map[int]string{
+		0: "seed=21,readerr=1,transient=1,max=6,target=base",
+		2: "seed=23,readerr=1,transient=1,max=10,target=base",
+	}
+	for shard, spec := range specs {
+		if err := f.SetShardFaultSpec(shard, spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	queries := []string{
+		`select * from customer where nationkey < 12`,
+		`select count(*), sum(quantity) from lineitem`,
+		`select nationkey, count(*) from customer group by nationkey`,
+	}
+	totalRetries := 0
+	for _, q := range queries {
+		want, err := ref.Exec(q, nil)
+		if err != nil {
+			t.Fatalf("reference %q: %v", q, err)
+		}
+		lastDone := -1.0
+		res, err := f.Exec(q, func(rep Report) {
+			if rep.DoneU < lastDone-1e-9 {
+				t.Errorf("%q: DoneU regressed %g -> %g", q, lastDone, rep.DoneU)
+			}
+			lastDone = rep.DoneU
+		})
+		if err != nil {
+			t.Fatalf("%q: transient-only fault surfaced to the client: %v", q, err)
+		}
+		totalRetries += res.Retries
+		wm, gm := multiset(want.Rows), multiset(res.Rows)
+		if len(wm) != len(gm) {
+			t.Fatalf("%q: %d distinct rows, want %d", q, len(gm), len(wm))
+		}
+		for k, n := range wm {
+			if gm[k] != n {
+				t.Fatalf("%q: row %q ×%d, want ×%d", q, k, gm[k], n)
+			}
+		}
+		for _, sr := range res.Shards {
+			if _, faulted := specs[sr.Shard]; !faulted && sr.Retries != 0 {
+				t.Errorf("%q: clean shard %d charged %d retries", q, sr.Shard, sr.Retries)
+			}
+		}
+	}
+	if totalRetries == 0 {
+		t.Fatal("transient schedule induced no retries; nothing was exercised")
+	}
+	for _, h := range f.Health() {
+		if h.Breaker != "closed" || h.Trips != 0 {
+			t.Errorf("shard %d breaker %s with %d trips under a transient-only schedule", h.Shard, h.Breaker, h.Trips)
+		}
+	}
+	if err := f.CheckLeaks(); err != nil {
+		t.Fatalf("leaks after transient chaos: %v", err)
+	}
+}

@@ -1,0 +1,228 @@
+// Per-shard failure containment: a closed/open/half-open circuit
+// breaker in front of every shard, and the retry/breaker bookkeeping the
+// coordinator's fan-out consults.
+//
+// The breaker's job is latency containment, not correctness: a fleet
+// query needs every shard, so a sick shard still fails the query — but
+// an open breaker fails it *fast*, before the fan-out pays the shard's
+// full retry-and-backoff budget again. Trip happens after a configured
+// number of consecutive subquery failures that survived the retry
+// policy; while open, fan-outs are rejected immediately until a probe
+// quota is spent, at which point one subquery is admitted as a
+// half-open probe — success closes the breaker, failure re-opens it.
+//
+// State transitions are driven purely by query outcomes (counted
+// probes, not timers): the fleet's clocks are virtual and only advance
+// when work is charged, so a wall-time cooldown would never elapse on
+// an idle shard and a vclock cooldown would be load-dependent. Counting
+// rejected fan-outs keeps recovery deterministic under test.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Breaker states, in gauge order (fleet_shard_breaker_state values).
+const (
+	breakerClosed int32 = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker outcome classes.
+const (
+	outcomeSuccess = iota
+	outcomeFailure
+	// outcomeNeutral marks context-canceled subqueries: a sibling's
+	// failure (or the user) tore the query down, which says nothing
+	// about this shard's health.
+	outcomeNeutral
+)
+
+// ErrBreakerOpen is the sentinel under every fast-fail rejection;
+// errors.Is(err, ErrBreakerOpen) identifies them through *ShardError.
+var ErrBreakerOpen = errors.New("circuit breaker open")
+
+// BreakerOpenError is a fan-out rejected without touching the shard
+// because its circuit breaker is open.
+type BreakerOpenError struct {
+	// Shard is the sick shard.
+	Shard int
+	// ConsecutiveFailures is the failure streak that tripped the breaker.
+	ConsecutiveFailures int
+}
+
+func (e *BreakerOpenError) Error() string {
+	return fmt.Sprintf("shard %d failing fast: %v after %d consecutive subquery failures",
+		e.Shard, ErrBreakerOpen, e.ConsecutiveFailures)
+}
+
+func (e *BreakerOpenError) Unwrap() error { return ErrBreakerOpen }
+
+// breaker is one shard's circuit breaker plus its resilience counters.
+// All fields are guarded by mu; enabled is immutable after New.
+type breaker struct {
+	mu         sync.Mutex
+	threshold  int // consecutive failures to trip; <= 0 disables
+	probeAfter int // fast-fails while open before admitting a probe
+
+	state       int32
+	consecutive int // failure streak (resets on success)
+	denied      int // fast-fails since the breaker last opened
+
+	// Lifetime counters, surfaced by Fleet.Health.
+	retries   int64
+	trips     int64
+	fastFails int64
+}
+
+// allow decides whether a fan-out may touch the shard. probe marks the
+// admitted call as a half-open probe; when !ok, streak reports the
+// failure streak for the rejection error.
+func (b *breaker) allow() (ok, probe bool, streak int) {
+	if b.threshold <= 0 {
+		return true, false, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, false, 0
+	case breakerHalfOpen:
+		// A probe is already in flight; everyone else keeps failing fast.
+		b.fastFails++
+		return false, false, b.consecutive
+	default: // breakerOpen
+		b.denied++
+		if b.denied > b.probeAfter {
+			b.state = breakerHalfOpen
+			return true, true, 0
+		}
+		b.fastFails++
+		return false, false, b.consecutive
+	}
+}
+
+// record folds one executed subquery's outcome back into the breaker and
+// reports whether this outcome tripped it open.
+func (b *breaker) record(probe bool, outcome int) (tripped bool) {
+	if b.threshold <= 0 {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch outcome {
+	case outcomeSuccess:
+		b.state = breakerClosed
+		b.consecutive = 0
+		b.denied = 0
+	case outcomeNeutral:
+		if probe {
+			// The probe never finished; re-open with the quota already
+			// spent so the next fan-out probes again.
+			b.state = breakerOpen
+			b.denied = b.probeAfter
+		}
+	case outcomeFailure:
+		b.consecutive++
+		if probe {
+			b.state = breakerOpen
+			b.denied = 0
+			return false
+		}
+		if b.state == breakerClosed && b.consecutive >= b.threshold {
+			b.state = breakerOpen
+			b.denied = 0
+			b.trips++
+			return true
+		}
+	}
+	return false
+}
+
+func (b *breaker) noteRetry() {
+	b.mu.Lock()
+	b.retries++
+	b.mu.Unlock()
+}
+
+// stateValue returns the current state as the breaker-state gauge value.
+func (b *breaker) stateValue() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return float64(b.state)
+}
+
+func breakerStateName(v int32) string {
+	switch v {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half_open"
+	default:
+		return "closed"
+	}
+}
+
+// ShardHealth is one shard's live resilience summary, exposed through
+// Fleet.Health and the serving layer's /healthz.
+type ShardHealth struct {
+	// Shard is the shard id.
+	Shard int
+	// Breaker is the circuit breaker state: "closed", "open", or
+	// "half_open".
+	Breaker string
+	// ConsecutiveFailures is the current subquery failure streak.
+	ConsecutiveFailures int
+	// Retries counts transient-fault subquery retries on this shard.
+	Retries int64
+	// Trips counts closed→open breaker transitions.
+	Trips int64
+	// FastFails counts fan-outs rejected without touching the shard.
+	FastFails int64
+}
+
+// Health snapshots every shard's breaker state and resilience counters,
+// in shard order.
+func (f *Fleet) Health() []ShardHealth {
+	out := make([]ShardHealth, len(f.shards))
+	for i, b := range f.breakers {
+		b.mu.Lock()
+		out[i] = ShardHealth{
+			Shard:               i,
+			Breaker:             breakerStateName(b.state),
+			ConsecutiveFailures: b.consecutive,
+			Retries:             b.retries,
+			Trips:               b.trips,
+			FastFails:           b.fastFails,
+		}
+		b.mu.Unlock()
+	}
+	return out
+}
+
+// classifyOutcome maps a completed subquery's error to a breaker
+// outcome class.
+func classifyOutcome(err error) int {
+	switch {
+	case err == nil:
+		return outcomeSuccess
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return outcomeNeutral
+	default:
+		return outcomeFailure
+	}
+}
+
+// recordShardOutcome feeds one executed subquery's outcome to the
+// shard's breaker and refreshes the breaker-state gauge.
+func (f *Fleet) recordShardOutcome(id int, probe bool, err error) {
+	b := f.breakers[id]
+	if b.record(probe, classifyOutcome(err)) {
+		f.met.trips.Inc()
+	}
+	f.met.breakerState[id].Set(b.stateValue())
+}

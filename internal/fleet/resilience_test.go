@@ -1,0 +1,316 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"progressdb/internal/storage"
+)
+
+// resilientFleet builds an n-shard paper-workload fleet with explicit
+// retry/breaker tuning so the tests don't depend on defaults.
+func resilientFleet(t *testing.T, n int, cfg Config) *Fleet {
+	t.Helper()
+	cfg.Shards = n
+	cfg.Shard = shardCfg
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.LoadPaperWorkload(0.002, false); err != nil {
+		t.Fatal(err)
+	}
+	// Drop the pool caches the load left warm: the fault schedules these
+	// tests install target disk reads, so the queries must actually read.
+	if err := f.ColdRestart(); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// transientSpec is a seeded transient-only schedule sized to stay inside
+// the coordinator's retry budget: readerr=1 makes every targeted access
+// fault until the max= cap is spent, transient=1 keeps every fault
+// retryable, and max=10 burns down as 4 (attempt 1 surfaces after the
+// bufferpool's 4 tries) + 4 (attempt 2) + 2 (absorbed inside attempt 3)
+// — exactly two coordinator retries, then success.
+const transientSpec = "seed=42,readerr=1,transient=1,max=10,target=base"
+
+// runQuerySet executes the query list sequentially and returns, per
+// query, the result multiset and retry count. Any error fails the test:
+// transient faults must never surface to the fleet's caller.
+func runQuerySet(t *testing.T, f *Fleet, queries []string) (sets []map[string]int, retries []int) {
+	t.Helper()
+	for _, q := range queries {
+		lastDone := -1.0
+		res, err := f.Exec(q, func(rep Report) {
+			if rep.DoneU < lastDone-1e-9 {
+				t.Errorf("%q: global DoneU regressed %g -> %g across a retry", q, lastDone, rep.DoneU)
+			}
+			lastDone = rep.DoneU
+		})
+		if err != nil {
+			t.Fatalf("%q: transient-only schedule surfaced an error: %v", q, err)
+		}
+		sets = append(sets, multiset(res.Rows))
+		retries = append(retries, res.Retries)
+	}
+	return sets, retries
+}
+
+// TestFleetDeterministicTransientFailover is the acceptance scenario for
+// retry determinism: two fleets with identical shard seeds and an
+// identical transient-fault schedule on shard 1 must run the same query
+// set to identical results with identical retry counts, and no query may
+// see an error — the coordinator's retry loop absorbs every transient
+// fault, with backoff charged to the shard's virtual clock.
+func TestFleetDeterministicTransientFailover(t *testing.T) {
+	queries := []string{
+		`select * from customer where nationkey < 12`,
+		`select count(*), sum(quantity) from lineitem`,
+		`select nationkey, count(*) from customer group by nationkey`,
+	}
+	cfg := Config{MaxSubqueryRetries: 2, RetryBackoffSeconds: 0.05}
+
+	var sets [2][]map[string]int
+	var retries [2][]int
+	for run := 0; run < 2; run++ {
+		f := resilientFleet(t, 3, cfg)
+		if err := f.SetShardFaultSpec(1, transientSpec); err != nil {
+			t.Fatal(err)
+		}
+		sets[run], retries[run] = runQuerySet(t, f, queries)
+		if err := f.CheckLeaks(); err != nil {
+			t.Fatalf("run %d: leaks after transient failover: %v", run, err)
+		}
+	}
+
+	totalRetries := 0
+	for qi := range queries {
+		if retries[0][qi] != retries[1][qi] {
+			t.Errorf("query %d: run 0 took %d retries, run 1 took %d — failover is not deterministic",
+				qi, retries[0][qi], retries[1][qi])
+		}
+		totalRetries += retries[0][qi]
+		if len(sets[0][qi]) != len(sets[1][qi]) {
+			t.Fatalf("query %d: result cardinality differs across runs", qi)
+		}
+		for k, n := range sets[0][qi] {
+			if sets[1][qi][k] != n {
+				t.Fatalf("query %d: row %q ×%d in run 0, ×%d in run 1", qi, k, n, sets[1][qi][k])
+			}
+		}
+	}
+	if totalRetries == 0 {
+		t.Fatal("schedule induced no retries; the test exercised nothing")
+	}
+
+	// The retried queries must also be *correct*, not merely stable.
+	ref := referenceDB(t)
+	for qi, q := range queries {
+		res, err := ref.Exec(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := multiset(res.Rows)
+		if len(want) != len(sets[0][qi]) {
+			t.Fatalf("query %d: fleet result differs from single-engine reference", qi)
+		}
+		for k, n := range want {
+			if sets[0][qi][k] != n {
+				t.Fatalf("query %d: row %q ×%d reference, ×%d fleet", qi, k, n, sets[0][qi][k])
+			}
+		}
+	}
+}
+
+// TestFleetRetryAccounting pins where retry attribution lands: the
+// per-shard ShardResult names the faulted shard, healthy shards report
+// zero retries, and the shard's DoneU includes the failed attempts' work.
+func TestFleetRetryAccounting(t *testing.T) {
+	f := resilientFleet(t, 3, Config{MaxSubqueryRetries: 2, RetryBackoffSeconds: 0.05})
+	if err := f.SetShardFaultSpec(1, transientSpec); err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.Exec(`select count(*) from customer`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Retries == 0 {
+		t.Fatal("no retries recorded")
+	}
+	for _, sr := range res.Shards {
+		if sr.Shard == 1 {
+			if sr.Retries != res.Retries {
+				t.Errorf("shard 1 retries = %d, total = %d", sr.Retries, res.Retries)
+			}
+			if sr.DoneU <= 0 {
+				t.Errorf("shard 1 DoneU = %g after retried attempts", sr.DoneU)
+			}
+		} else if sr.Retries != 0 {
+			t.Errorf("healthy shard %d charged %d retries", sr.Shard, sr.Retries)
+		}
+	}
+	hs := f.Health()
+	if hs[1].Retries == 0 || hs[0].Retries != 0 {
+		t.Errorf("health retries = [%d %d %d], want only shard 1 > 0", hs[0].Retries, hs[1].Retries, hs[2].Retries)
+	}
+}
+
+// permanentSpec fails every targeted read with a permanent fault: the
+// storage layer does not retry it and neither does the coordinator.
+const permanentSpec = "seed=7,readerr=1,transient=0,target=base"
+
+// subqueriesExecuted reads the coordinator's executed-subquery counter.
+func subqueriesExecuted(t *testing.T, f *Fleet) float64 {
+	t.Helper()
+	for _, sm := range f.Metrics() {
+		if sm.Name == "fleet_subqueries_total" {
+			return sm.Value
+		}
+	}
+	t.Fatal("fleet_subqueries_total not registered")
+	return 0
+}
+
+// TestFleetBreakerTripAndRecovery walks the breaker state machine end to
+// end under a permanently sick shard: threshold consecutive failures trip
+// it open (queries fail with shard attribution), subsequent queries fail
+// fast without executing a subquery on the sick shard, and after the
+// probe quota a half-open probe against the healed shard closes it again.
+func TestFleetBreakerTripAndRecovery(t *testing.T) {
+	f := resilientFleet(t, 3, Config{
+		MaxSubqueryRetries: 2,
+		BreakerThreshold:   3,
+		BreakerProbeAfter:  2,
+	})
+	if err := f.SetShardFaultSpec(1, permanentSpec); err != nil {
+		t.Fatal(err)
+	}
+	const q = `select count(*) from customer`
+
+	// Three consecutive permanent failures: each must attribute shard 1
+	// with a typed I/O fault and exactly one executed attempt.
+	for i := 0; i < 3; i++ {
+		_, err := f.Exec(q, nil)
+		var se *ShardError
+		if !errors.As(err, &se) {
+			t.Fatalf("query %d: %v, want *ShardError", i, err)
+		}
+		if se.Shard != 1 || se.Attempts != 1 {
+			t.Fatalf("query %d: shard %d after %d attempts, want shard 1 after 1", i, se.Shard, se.Attempts)
+		}
+		var iof *storage.IOFault
+		if !errors.As(err, &iof) {
+			t.Fatalf("query %d: error chain lost the injected fault: %v", i, err)
+		}
+		if errors.Is(err, ErrBreakerOpen) {
+			t.Fatalf("query %d: breaker opened before the threshold", i)
+		}
+	}
+	if hs := f.Health(); hs[1].Breaker != "open" || hs[1].Trips != 1 {
+		t.Fatalf("after threshold failures: shard 1 health %+v, want open with 1 trip", hs[1])
+	}
+
+	// While open: fail fast. No subquery may be executed on any shard for
+	// the rejected fan-out (the sick shard is skipped, the siblings are
+	// canceled before the error surfaces), and the error says so.
+	before := subqueriesExecuted(t, f)
+	_, err := f.Exec(q, nil)
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("breaker open: err = %v, want errors.Is ErrBreakerOpen", err)
+	}
+	var se *ShardError
+	if !errors.As(err, &se) || se.Shard != 1 || se.Attempts != 0 || se.Breaker != "open" {
+		t.Fatalf("fast-fail attribution: %+v", se)
+	}
+	fastFailed := subqueriesExecuted(t, f)
+	if got := fastFailed - before; got > 2 {
+		t.Fatalf("fast-failed query executed %g subqueries on the sick shard's account", got)
+	}
+	if hs := f.Health(); hs[1].FastFails == 0 {
+		t.Fatal("fast-fail not counted in shard health")
+	}
+
+	// Heal the shard, then spend the probe quota: one more fast-fail,
+	// then the next fan-out is admitted as a half-open probe, succeeds,
+	// and closes the breaker.
+	if err := f.SetShardFaultSpec(1, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Exec(q, nil); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("probe quota not yet spent: err = %v, want fast-fail", err)
+	}
+	res, err := f.Exec(q, nil)
+	if err != nil {
+		t.Fatalf("half-open probe: %v", err)
+	}
+	ref := referenceDB(t)
+	refRes, err := ref.Exec(q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fmt.Sprint(res.Rows[0][0]), fmt.Sprint(refRes.Rows[0][0]); got != want {
+		t.Fatalf("post-recovery count = %s, want %s", got, want)
+	}
+	if hs := f.Health(); hs[1].Breaker != "closed" || hs[1].ConsecutiveFailures != 0 {
+		t.Fatalf("after successful probe: shard 1 health %+v, want closed", hs[1])
+	}
+	if err := f.CheckLeaks(); err != nil {
+		t.Fatalf("leaks after breaker cycle: %v", err)
+	}
+}
+
+// TestFleetBreakerDisabled: BreakerThreshold < 0 turns the breaker off —
+// a permanently sick shard fails every query the slow way, with real
+// attempts, and never fast-fails.
+func TestFleetBreakerDisabled(t *testing.T) {
+	f := resilientFleet(t, 2, Config{BreakerThreshold: -1, MaxSubqueryRetries: -1})
+	if err := f.SetShardFaultSpec(1, permanentSpec); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		_, err := f.Exec(`select count(*) from customer`, nil)
+		if err == nil {
+			t.Fatalf("query %d: sick shard did not fail", i)
+		}
+		if errors.Is(err, ErrBreakerOpen) {
+			t.Fatalf("query %d: disabled breaker fast-failed: %v", i, err)
+		}
+	}
+	if hs := f.Health(); hs[1].Trips != 0 || hs[1].FastFails != 0 {
+		t.Fatalf("disabled breaker recorded activity: %+v", hs[1])
+	}
+}
+
+// TestFleetEstimateCostU: the fleet estimate is the sum of per-shard
+// optimizer estimates, it prices without executing, and unsupported
+// queries are rejected the same way exec rejects them.
+func TestFleetEstimateCostU(t *testing.T) {
+	f := paperFleet(t, 3)
+	u, err := f.EstimateCostU(`select count(*) from lineitem`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u <= 0 {
+		t.Fatalf("estimate = %g, want > 0", u)
+	}
+	var perShard float64
+	for i := 0; i < f.Shards(); i++ {
+		su, err := f.shards[i].db.EstimateCostU(`select count(*) from lineitem`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perShard += su
+	}
+	if diff := u - perShard; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("fleet estimate %g != sum of shard estimates %g", u, perShard)
+	}
+	if _, err := f.EstimateCostU(`select * from customer c, lineitem l where c.nationkey = l.orderkey`); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("estimate of non-co-partitioned join: %v, want ErrUnsupported", err)
+	}
+	if subqueriesExecuted(t, f) != 0 {
+		t.Fatal("EstimateCostU executed a subquery")
+	}
+}

@@ -1,0 +1,229 @@
+// Progress-aware admission control: the server prices every query with
+// the optimizer's initial cost estimate (Engine.EstimateCostU) and
+// tracks, for each admitted query, the live remaining-work figure the
+// progress indicator refines while it runs (EstimatedCostU − DoneU).
+// The sum across in-flight queries is the server's remaining-work
+// budget; a submit that would push it past Config.MaxInflightU is shed
+// with 429 before any work is queued. This is the paper's estimator
+// doing operations work: overload decisions are cost-based, not
+// count-based — ten cheap index probes admit where one 40M-page join
+// would not.
+//
+// The same ledger answers two time questions. Retry-After on a shed is
+// derived from the remaining-time estimate of the cheapest in-flight
+// query (its virtual estimate scaled by the query's own observed
+// virtual-to-wall rate). Deadline fail-fast converts the total
+// in-flight remaining U plus the newcomer's own cost into wall seconds
+// via an EWMA of the observed drain rate (U per wall second), and
+// rejects a query whose deadline_ms the estimate already overshoots —
+// in microseconds, instead of letting it time out after queueing.
+package server
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"progressdb"
+	"progressdb/client"
+)
+
+// inflightEntry is one admitted, not-yet-terminal query in the ledger.
+type inflightEntry struct {
+	// estU is the latest total-cost estimate in U: the optimizer figure
+	// at admission, refined by progress reports while running. < 0 when
+	// the cost could not be estimated (the query is admitted and fails
+	// or runs under the unknown-cost policy).
+	estU  float64
+	doneU float64
+	// started is the wall-clock execution start; zero while queued.
+	started time.Time
+	// elapsedV / remainingV are the latest report's virtual elapsed
+	// seconds and remaining-time estimate (remainingV < 0 = unknown).
+	elapsedV   float64
+	remainingV float64
+}
+
+// remainingU is the entry's outstanding work estimate.
+func (e *inflightEntry) remainingU() float64 {
+	if e.estU < 0 {
+		return 0 // unknown-cost queries don't count against the budget
+	}
+	return math.Max(e.estU-e.doneU, 0)
+}
+
+// admission is the server's in-flight remaining-work ledger.
+type admission struct {
+	mu           sync.Mutex
+	maxInflightU float64 // 0 = unlimited
+	jobs         map[string]*inflightEntry
+	// uPerWallSec is the EWMA drain rate observed from progress reports
+	// and completions; 0 until the first observation.
+	uPerWallSec float64
+}
+
+const admissionRateAlpha = 0.3 // EWMA weight of the newest rate sample
+
+func newAdmission(maxInflightU float64) *admission {
+	return &admission{maxInflightU: maxInflightU, jobs: make(map[string]*inflightEntry)}
+}
+
+// verdict is the outcome of one admission decision.
+type verdict struct {
+	// reason is empty when admitted, else one of client.ShedBudget /
+	// client.ShedDeadline.
+	reason string
+	// retryAfter is the capacity estimate attached to budget sheds, in
+	// wall seconds.
+	retryAfter float64
+	// estimatedMS is the completion estimate that tripped a deadline
+	// shed.
+	estimatedMS float64
+}
+
+// admit prices one query against the budget and (when deadlineMS > 0)
+// against its deadline, atomically inserting it into the ledger on
+// success — check and insert are one critical section, so two racing
+// submits cannot both squeeze into the last slice of budget.
+func (a *admission) admit(id string, costU float64, deadlineMS int64, now time.Time) verdict {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.maxInflightU > 0 && costU > 0 && a.inflightULocked()+costU > a.maxInflightU {
+		return verdict{reason: client.ShedBudget, retryAfter: a.retryAfterLocked(now)}
+	}
+	if deadlineMS > 0 && costU >= 0 && a.uPerWallSec > 0 {
+		totalU := a.inflightULocked() + costU
+		estMS := totalU / a.uPerWallSec * 1000
+		if estMS > float64(deadlineMS) {
+			return verdict{reason: client.ShedDeadline, estimatedMS: estMS}
+		}
+	}
+	a.jobs[id] = &inflightEntry{estU: costU, remainingV: -1}
+	return verdict{}
+}
+
+// markRunning stamps the query's wall-clock execution start.
+func (a *admission) markRunning(id string, now time.Time) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if e, ok := a.jobs[id]; ok {
+		e.started = now
+	}
+}
+
+// update folds one progress refresh into the ledger and feeds the
+// observed drain rate EWMA.
+func (a *admission) update(id string, r progressdb.Report, now time.Time) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	e, ok := a.jobs[id]
+	if !ok {
+		return
+	}
+	if r.EstimatedCostU > 0 {
+		e.estU = r.EstimatedCostU
+	}
+	if r.DoneU > e.doneU {
+		e.doneU = r.DoneU
+	}
+	e.elapsedV = r.ElapsedSeconds
+	e.remainingV = r.RemainingSeconds
+	if math.IsNaN(e.remainingV) || math.IsInf(e.remainingV, 0) {
+		e.remainingV = -1
+	}
+	if !e.started.IsZero() && e.doneU > 0 {
+		if wall := now.Sub(e.started).Seconds(); wall > 0.005 {
+			a.observeRateLocked(e.doneU / wall)
+		}
+	}
+}
+
+// observeCompletion feeds a finished query's whole-run drain rate.
+func (a *admission) observeCompletion(doneU, wallSeconds float64) {
+	if doneU <= 0 || wallSeconds <= 0 {
+		return
+	}
+	a.mu.Lock()
+	a.observeRateLocked(doneU / wallSeconds)
+	a.mu.Unlock()
+}
+
+func (a *admission) observeRateLocked(rate float64) {
+	if rate <= 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		return
+	}
+	if a.uPerWallSec <= 0 {
+		a.uPerWallSec = rate
+		return
+	}
+	a.uPerWallSec = admissionRateAlpha*rate + (1-admissionRateAlpha)*a.uPerWallSec
+}
+
+// remove retires one query from the ledger (terminal state reached).
+func (a *admission) remove(id string) {
+	a.mu.Lock()
+	delete(a.jobs, id)
+	a.mu.Unlock()
+}
+
+// inflightU is the current remaining-work estimate across admitted
+// queries, in U.
+func (a *admission) inflightU() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflightULocked()
+}
+
+func (a *admission) inflightULocked() float64 {
+	var sum float64
+	for _, e := range a.jobs {
+		sum += e.remainingU()
+	}
+	return sum
+}
+
+// count is the number of admitted, not-yet-terminal queries.
+func (a *admission) count() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.jobs)
+}
+
+// rate exposes the drain-rate EWMA (0 before the first observation).
+func (a *admission) rate() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.uPerWallSec
+}
+
+// retryAfter estimates when capacity frees up, in wall seconds.
+func (a *admission) retryAfter(now time.Time) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.retryAfterLocked(now)
+}
+
+// retryAfterLocked is the smallest wall-clock remaining-time estimate
+// across running queries: each query's virtual remaining-time estimate
+// scaled by its own observed virtual-to-wall rate (paced queries run
+// virtual seconds in wall seconds; unpaced ones in microseconds).
+// Clamped to [1, 600] — Retry-After is advice, not a contract.
+func (a *admission) retryAfterLocked(now time.Time) float64 {
+	best := math.Inf(1)
+	for _, e := range a.jobs {
+		if e.started.IsZero() || e.elapsedV <= 0 || e.remainingV < 0 {
+			continue
+		}
+		wall := now.Sub(e.started).Seconds()
+		if wall <= 0 {
+			continue
+		}
+		if rem := e.remainingV * (wall / e.elapsedV); rem < best {
+			best = rem
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 1
+	}
+	return math.Min(math.Max(best, 1), 600)
+}

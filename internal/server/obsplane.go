@@ -31,6 +31,9 @@ var dashboardSeries = []string{
 	tsdb.Ref("server_sse_subscribers"),
 	tsdb.Ref("server_queries_admitted_total"),
 	tsdb.Ref("server_queries_rejected_total"),
+	tsdb.Ref("server_inflight_u"),
+	tsdb.Ref("server_inflight_queries"),
+	tsdb.Ref("server_u_per_wall_second"),
 	tsdb.Ref("server_progress_events_total"),
 	tsdb.Ref("server_query_wall_seconds_count"),
 	tsdb.Ref("engine_queries_total"),
@@ -50,6 +53,9 @@ var fleetSeries = []string{
 	tsdb.Ref("fleet_progress_events_total"),
 	tsdb.Ref("fleet_queries_failed_total"),
 	tsdb.Ref("fleet_cancels_propagated_total"),
+	tsdb.Ref("fleet_retries_total"),
+	tsdb.Ref("fleet_breaker_trips_total"),
+	tsdb.Ref("fleet_breaker_fast_fails_total"),
 }
 
 // fleetShardPercentSeries is the series-ID stem of the per-shard
@@ -172,6 +178,8 @@ func (s *Server) retire(j *job) {
 	s.hist.Add(j.profile())
 	s.met.profiles.Inc()
 	s.met.retained.Set(float64(s.hist.Len()))
+	s.adm.remove(j.id)
+	s.syncAdmissionGauges()
 }
 
 // ---- /api handlers ---------------------------------------------------

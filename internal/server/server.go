@@ -6,14 +6,15 @@
 //
 // Surface:
 //
-//	POST   /queries               submit {sql, name?, keep_rows?, pace_ms?} → 202 {id, state, queue_position} | 429
+//	POST   /queries               submit {sql, name?, keep_rows?, pace_ms?, deadline_ms?} → 202 {id, state, queue_position} | 429 {reason, retry_after_seconds?}
 //	GET    /queries               list all queries
 //	GET    /queries/{id}          lifecycle snapshot (state, latest progress, timings)
 //	GET    /queries/{id}/progress SSE stream: every indicator refresh as JSON, replay included
 //	GET    /queries/{id}/result   completed result rows
 //	DELETE /queries/{id}          cancel (queued: immediate; running: at next executor safe point)
 //	GET    /metrics               Prometheus text exposition (engine + server instruments)
-//	GET    /healthz               liveness and queue summary
+//	GET    /healthz               liveness, queue summary, remaining-work budget, per-shard breaker health
+//	POST   /admin/drain           graceful drain: stop admission, wait for in-flight work, then cancel stragglers
 //
 // Concurrency model: the engine's virtual clock makes the engine itself
 // single-threaded, so query executions are serialized on an engine
@@ -27,6 +28,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime/debug"
 	"strconv"
@@ -78,6 +80,17 @@ type Config struct {
 	// clients don't drop long-quiet connections. 0 means the 15 s
 	// default; negative disables pings.
 	KeepAlive time.Duration
+	// MaxInflightU, when > 0, is the admission controller's in-flight
+	// remaining-work budget in U: a submit whose optimizer-estimated
+	// cost would push the sum of (est_total_u − done_u) across admitted
+	// queries past this is shed with 429 + Retry-After instead of
+	// queued. 0 disables cost-based shedding (queue-depth shedding
+	// still applies).
+	MaxInflightU float64
+	// DrainTimeout is how long Drain (SIGTERM, POST /admin/drain) lets
+	// in-flight queries finish before canceling the stragglers at their
+	// next safe point. Default 10 s.
+	DrainTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +111,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.KeepAlive == 0 {
 		c.KeepAlive = 15 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
 	}
 	return c
 }
@@ -126,6 +142,15 @@ type metrics struct {
 	sseSubs    *obs.Gauge
 	retained   *obs.Gauge
 
+	// Admission-control & drain instruments.
+	shedByReason map[string]*obs.Counter // server_shed_total{reason=...}
+	inflightU    *obs.Gauge
+	inflightQ    *obs.Gauge
+	drainRate    *obs.Gauge
+	drains       *obs.Counter
+	drainForced  *obs.Counter
+	drainingG    *obs.Gauge
+
 	wall *obs.Histogram
 }
 
@@ -145,6 +170,18 @@ func newMetrics(reg *obs.Registry) metrics {
 	m.profiles = m.reg.Counter("server_history_profiles_total", "terminal-query profiles captured into the history store")
 	m.samples = m.reg.Counter("server_timeseries_samples_total", "sampler passes recorded into the timeseries store")
 	m.pings = m.reg.Counter("server_sse_keepalives_total", "keep-alive comments written on idle progress streams")
+	m.shedByReason = map[string]*obs.Counter{
+		client.ShedQueueFull: m.reg.LabeledCounter("server_shed_total", "reason", client.ShedQueueFull, "submits shed because the admission queue was full"),
+		client.ShedBudget:    m.reg.LabeledCounter("server_shed_total", "reason", client.ShedBudget, "submits shed because the in-flight remaining-work budget was exhausted"),
+		client.ShedDeadline:  m.reg.LabeledCounter("server_shed_total", "reason", client.ShedDeadline, "submits shed because the estimated completion exceeded deadline_ms"),
+		client.ShedDraining:  m.reg.LabeledCounter("server_shed_total", "reason", client.ShedDraining, "submits shed because the server was draining"),
+	}
+	m.inflightU = m.reg.Gauge("server_inflight_u", "remaining-work estimate across admitted queries, in U")
+	m.inflightQ = m.reg.Gauge("server_inflight_queries", "admitted queries not yet terminal")
+	m.drainRate = m.reg.Gauge("server_u_per_wall_second", "EWMA of the observed drain rate (U per wall-clock second)")
+	m.drains = m.reg.Counter("server_drains_total", "graceful drains initiated (SIGTERM or /admin/drain)")
+	m.drainForced = m.reg.Counter("server_drain_forced_cancels_total", "queries canceled because the drain deadline expired")
+	m.drainingG = m.reg.Gauge("server_draining", "1 while the server refuses new admissions for shutdown")
 	m.queueDepth = m.reg.Gauge("server_queue_depth", "queries waiting in the admission queue")
 	m.running = m.reg.Gauge("server_queries_running", "queries currently executing")
 	m.sseSubs = m.reg.Gauge("server_sse_subscribers", "open progress streams")
@@ -176,6 +213,9 @@ type Server struct {
 	quit   chan struct{}
 	wg     sync.WaitGroup
 	once   sync.Once
+
+	adm      *admission  // in-flight remaining-work ledger
+	draining atomic.Bool // set by Drain; submits shed with reason "draining"
 
 	mu    sync.Mutex
 	nextQ int
@@ -210,6 +250,7 @@ func NewEngine(eng Engine, cfg Config) *Server {
 		queue:  make(chan *job, cfg.QueueDepth),
 		engine: make(chan struct{}, 1),
 		quit:   make(chan struct{}),
+		adm:    newAdmission(cfg.MaxInflightU),
 		mux:    http.NewServeMux(),
 	}
 	s.routes()
@@ -262,6 +303,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /queries/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("POST /admin/drain", s.handleDrain)
 	s.mux.HandleFunc("GET /api/timeseries", s.handleTimeseries)
 	s.mux.HandleFunc("GET /api/history", s.handleHistoryList)
 	s.mux.HandleFunc("GET /api/history/{id}", s.handleHistoryGet)
@@ -309,6 +351,7 @@ func (s *Server) runJob(j *job) {
 		// Canceled between dequeue and engine acquisition.
 		return
 	}
+	s.adm.markRunning(j.id, time.Now())
 	s.met.running.Add(1)
 	defer s.met.running.Add(-1)
 
@@ -325,6 +368,10 @@ func (s *Server) runJob(j *job) {
 		ev.Shards = p.Shards
 		j.publish(ev)
 		s.met.events.Inc()
+		// Refine the admission ledger with the indicator's live figures:
+		// the budget shrinks as work completes, not just when it finishes.
+		s.adm.update(j.id, p.Report, time.Now())
+		s.syncAdmissionGauges()
 		if j.pace > 0 {
 			t := time.NewTimer(j.pace)
 			select {
@@ -360,6 +407,10 @@ func (s *Server) runJob(j *job) {
 	var internal *exec.InternalError
 	switch {
 	case err == nil:
+		if len(res.History) > 0 {
+			last := res.History[len(res.History)-1]
+			s.adm.observeCompletion(last.DoneU, time.Since(start).Seconds())
+		}
 		if j.finish(client.StateDone, nil, res) {
 			s.met.completed.Inc()
 			s.retire(j)
@@ -403,6 +454,22 @@ func writeErr(w http.ResponseWriter, status int, format string, args ...interfac
 	writeJSON(w, status, client.ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
+// shed rejects one submit, tagging the response with the shed reason
+// and (when > 0) a Retry-After estimate carried both as the HTTP header
+// (whole seconds, rounded up) and with sub-second precision in the body.
+func (s *Server) shed(w http.ResponseWriter, status int, reason, msg string, retryAfter float64, queueDepth int) {
+	s.met.rejected.Inc()
+	if c := s.met.shedByReason[reason]; c != nil {
+		c.Inc()
+	}
+	resp := client.ErrorResponse{Error: msg, Reason: reason, QueueDepth: queueDepth}
+	if retryAfter > 0 {
+		resp.RetryAfterSeconds = retryAfter
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(retryAfter))))
+	}
+	writeJSON(w, status, resp)
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req client.SubmitRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -417,11 +484,29 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "pace_ms must be in [0, 10000]")
 		return
 	}
+	if req.DeadlineMS < 0 {
+		writeErr(w, http.StatusBadRequest, "deadline_ms must be >= 0")
+		return
+	}
 	select {
 	case <-s.quit:
 		writeErr(w, http.StatusServiceUnavailable, "server shutting down")
 		return
 	default:
+	}
+	if s.draining.Load() {
+		s.shed(w, http.StatusServiceUnavailable, client.ShedDraining,
+			"server draining, not admitting new queries", 0, 0)
+		return
+	}
+
+	// Price the query with the optimizer's initial estimate — a pure
+	// catalog read, safe concurrently with whatever the engine is
+	// executing. An unplannable query is admitted at unknown cost (< 0)
+	// and fails in execution with full error attribution.
+	costU, costErr := s.eng.EstimateCostU(req.SQL)
+	if costErr != nil {
+		costU = -1
 	}
 
 	s.mu.Lock()
@@ -434,25 +519,47 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	j := newJob(id, name, req.SQL, req.KeepRows, time.Duration(req.PaceMS)*time.Millisecond)
 
-	// Admission control: reject rather than block when the queue is full.
+	// Cost- and deadline-based admission: check and ledger insert are
+	// atomic, so concurrent submits cannot overshoot the budget.
+	switch v := s.adm.admit(j.id, costU, req.DeadlineMS, time.Now()); v.reason {
+	case client.ShedBudget:
+		s.shed(w, http.StatusTooManyRequests, v.reason,
+			fmt.Sprintf("in-flight work budget exhausted (%.0f U in flight, query needs %.0f U of %.0f U budget), retry later",
+				s.adm.inflightU(), costU, s.cfg.MaxInflightU),
+			v.retryAfter, 0)
+		return
+	case client.ShedDeadline:
+		s.shed(w, http.StatusTooManyRequests, v.reason,
+			fmt.Sprintf("estimated completion in %.0f ms exceeds deadline_ms=%d, failing fast",
+				v.estimatedMS, req.DeadlineMS), 0, 0)
+		return
+	}
+
+	// Queue-depth admission: reject rather than block when full.
 	select {
 	case s.queue <- j:
 	default:
-		s.met.rejected.Inc()
-		writeJSON(w, http.StatusTooManyRequests, client.ErrorResponse{
-			Error:      "admission queue full, retry later",
-			QueueDepth: cap(s.queue),
-		})
+		s.adm.remove(j.id)
+		s.shed(w, http.StatusTooManyRequests, client.ShedQueueFull,
+			"admission queue full, retry later", s.adm.retryAfter(time.Now()), cap(s.queue))
 		return
 	}
 	s.reg.add(j)
 	s.met.admitted.Inc()
 	s.met.queueDepth.Set(float64(len(s.queue)))
+	s.syncAdmissionGauges()
 	writeJSON(w, http.StatusAccepted, client.SubmitResponse{
 		ID:            j.id,
 		State:         j.currentState(),
 		QueuePosition: s.reg.queuePosition(j),
 	})
+}
+
+// syncAdmissionGauges refreshes the budget gauges from the ledger.
+func (s *Server) syncAdmissionGauges() {
+	s.met.inflightU.Set(s.adm.inflightU())
+	s.met.inflightQ.Set(float64(s.adm.count()))
+	s.met.drainRate.Set(s.adm.rate())
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -641,10 +748,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
 	writeJSON(w, http.StatusOK, client.HealthResponse{
-		Status:  "ok",
-		Queued:  len(s.queue),
-		Running: int(s.met.running.Value()),
-		Workers: s.cfg.Workers,
+		Status:          status,
+		Queued:          len(s.queue),
+		Running:         int(s.met.running.Value()),
+		Workers:         s.cfg.Workers,
+		InflightU:       s.adm.inflightU(),
+		InflightQueries: s.adm.count(),
+		MaxInflightU:    s.cfg.MaxInflightU,
+		Shards:          s.eng.Health(),
 	})
 }

@@ -337,6 +337,31 @@ func (db *DB) LoadPartitionFiles(dir string, partition int) (int, error) {
 // PaperQuery returns the paper's query Q1–Q5, verbatim.
 func PaperQuery(n int) (string, error) { return workload.QuerySQL(n) }
 
+// EstimateCostU compiles sql and returns the optimizer's initial total
+// query cost estimate in U (pages) — the same figure the progress
+// indicator starts from before any refinement. Admission controllers use
+// it to price a query before running it.
+//
+// The estimate is a pure read of the catalog and statistics: it charges
+// nothing to the virtual clock and touches no storage, so it is safe to
+// call concurrently with a running query on the same DB. It is NOT safe
+// concurrently with DDL, inserts, or Analyze (like every other DB call).
+func (db *DB) EstimateCostU(sql string) (float64, error) {
+	p, err := db.plan(sql)
+	if err != nil {
+		return 0, err
+	}
+	d := segment.Decompose(p, db.cfg.WorkMemPages)
+	return d.TotalInitCost() / storage.PageSize, nil
+}
+
+// Idle advances the virtual clock by d virtual seconds without charging
+// any work — deterministic waiting. Retry backoff (the bufferpool's I/O
+// retries, the fleet coordinator's subquery retries) is charged through
+// this so backoff time exists on the clock and fault schedules replay
+// identically across runs.
+func (db *DB) Idle(d float64) { db.clock.Idle(d) }
+
 // Explain compiles sql and returns the physical plan and its segment
 // decomposition (segments, inputs, dominant inputs, initial costs).
 func (db *DB) Explain(sql string) (string, error) {
