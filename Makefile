@@ -1,6 +1,6 @@
 # Developer entry points; `make check` is what CI runs.
 
-.PHONY: check test build vet fmt lint fuzz bench-obs bench-snapshot chaos dash
+.PHONY: check test build vet fmt lint lint-report fuzz bench-obs bench-fleet bench-snapshot chaos dash
 
 check:
 	./ci.sh
@@ -21,6 +21,14 @@ fmt:
 # findings; fix them or add `//lint:ignore <analyzer> <reason>`.
 lint:
 	go run ./cmd/progresslint ./...
+
+# Lint plus the machine-readable artifacts: the full diagnostic stream
+# as JSON and the sharedstate concurrency-readiness inventory — every
+# shared-mutable site in the engine-core packages with its guard
+# situation, the worklist for the multi-core engine (ROADMAP item 1).
+lint-report:
+	go run ./cmd/progresslint -json -sharedstate CONCURRENCY.json ./...
+	@echo "wrote CONCURRENCY.json"
 
 # Open-ended fuzzing of the two engine-boundary parsers. Override the
 # budget per target: make fuzz FUZZTIME=5m

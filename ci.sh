@@ -34,9 +34,17 @@ ls "$bindir"
 echo "== progresslint =="
 # The repo's own analyzers (DESIGN.md §7): wall-clock bans in engine
 # packages, executor cancellation safe points, Open/Close unwind
-# pairing, metric naming, error wrapping. Exit 1 = findings, 2 = the
-# module failed to load.
-"$bindir"/progresslint ./...
+# pairing, metric naming, error wrapping, plus the concurrency-
+# readiness suite — lock discipline (release on all paths, no blocking
+# under a lock, declared lock order), atomic-field access consistency,
+# the shared-state audit of the engine-core packages, and goroutine
+# shutdown observation. Exit 1 = findings, 2 = the module failed to
+# load. The same run emits the sharedstate inventory (the multi-core
+# worklist, ROADMAP item 1); it must parse and enumerate the audited
+# scope.
+"$bindir"/progresslint -sharedstate "$bindir"/concurrency.json ./...
+grep -q '"package_vars"' "$bindir"/concurrency.json
+grep -q '"structs"' "$bindir"/concurrency.json
 
 echo "== fuzz smoke =="
 # Short deterministic-budget runs of the fuzz targets; `make fuzz`

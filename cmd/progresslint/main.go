@@ -5,13 +5,21 @@
 //
 // Usage:
 //
-//	progresslint [-json] [-list] [packages...]
+//	progresslint [-json] [-list] [-sharedstate file] [packages...]
 //
 // With no package patterns it checks ./... from the current module.
 // Violations are printed one per line as file:line:col: [analyzer]
-// message. Suppress a finding with //lint:ignore <analyzer> <reason>
-// on the offending line or the line above; the suppression inventory
-// is itself audited (unknown analyzer names, missing reasons, and
+// message; -json emits them as a stable JSON array instead (schema:
+// internal/analysis.JSONDiagnostic, documented in the README).
+// -sharedstate additionally writes the sharedstate analyzer's
+// concurrency-readiness inventory — every package-level variable and
+// mutable struct in the engine-core packages, with its guard situation
+// — as JSON to the given file ("-" for stdout): the machine-readable
+// worklist for the multi-core engine (ROADMAP item 1).
+//
+// Suppress a finding with //lint:ignore <analyzer> <reason> on the
+// offending line or the line above; the suppression inventory is
+// itself audited (unknown analyzer names, missing reasons, and
 // suppressions that no longer suppress anything are reported).
 //
 // Exit codes: 0 clean, 1 findings, 2 load/internal failure.
@@ -22,17 +30,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"progressdb/internal/analysis"
 	"progressdb/internal/analysis/checks"
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array (stable schema)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	sharedstateOut := flag.String("sharedstate", "",
+		`write the sharedstate concurrency-readiness report (JSON) to this file ("-" for stdout)`)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: progresslint [-json] [-list] [packages...]\n\n"+
+			"usage: progresslint [-json] [-list] [-sharedstate file] [packages...]\n\n"+
 				"Checks the module's engine invariants (DESIGN.md §7).\n\n")
 		flag.PrintDefaults()
 	}
@@ -48,40 +59,30 @@ func main() {
 
 	root, err := analysis.ModuleRoot("")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "progresslint:", err)
-		os.Exit(2)
+		fatal(err)
 	}
 	mod, err := analysis.Load(root, flag.Args()...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "progresslint:", err)
-		os.Exit(2)
+		fatal(err)
 	}
-	diags, err := analysis.Run(mod.Fset, mod.Packages, analyzers)
+	diags, state, err := analysis.RunWithState(mod.Fset, mod.Packages, analyzers)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "progresslint:", err)
-		os.Exit(2)
+		fatal(err)
+	}
+
+	if *sharedstateOut != "" {
+		if err := writeSharedstate(state, *sharedstateOut, root); err != nil {
+			fatal(err)
+		}
 	}
 
 	if *jsonOut {
-		type jsonDiag struct {
-			File     string `json:"file"`
-			Line     int    `json:"line"`
-			Column   int    `json:"column"`
-			Analyzer string `json:"analyzer"`
-			Message  string `json:"message"`
+		data, err := analysis.DiagnosticsJSON(diags)
+		if err != nil {
+			fatal(err)
 		}
-		out := make([]jsonDiag, 0, len(diags))
-		for _, d := range diags {
-			out = append(out, jsonDiag{
-				File: d.Pos.Filename, Line: d.Pos.Line, Column: d.Pos.Column,
-				Analyzer: d.Analyzer, Message: d.Message,
-			})
-		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
-			fmt.Fprintln(os.Stderr, "progresslint:", err)
-			os.Exit(2)
+		if _, err := os.Stdout.Write(data); err != nil {
+			fatal(err)
 		}
 	} else {
 		for _, d := range diags {
@@ -93,4 +94,43 @@ func main() {
 			len(diags), len(mod.Packages))
 		os.Exit(1)
 	}
+}
+
+// writeSharedstate serializes the concurrency-readiness inventory the
+// sharedstate analyzer left in the run's shared state. Positions are
+// relativized to the module root and empty sections encode as [] so
+// the artifact is stable across checkouts and safe to index.
+func writeSharedstate(state *analysis.State, path, root string) error {
+	rep, ok := checks.SharedStateReport(state)
+	if !ok {
+		return fmt.Errorf("sharedstate report requested but the analyzer saw no " +
+			"engine-core package: include the module root packages in the run")
+	}
+	for i := range rep.PackageVars {
+		rep.PackageVars[i].Pos = strings.TrimPrefix(rep.PackageVars[i].Pos, root+string(os.PathSeparator))
+	}
+	for i := range rep.Structs {
+		rep.Structs[i].Pos = strings.TrimPrefix(rep.Structs[i].Pos, root+string(os.PathSeparator))
+	}
+	if rep.PackageVars == nil {
+		rep.PackageVars = []checks.VarSite{}
+	}
+	if rep.Structs == nil {
+		rep.Structs = []checks.StructSite{}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "progresslint:", err)
+	os.Exit(2)
 }

@@ -1,0 +1,83 @@
+package checks
+
+import (
+	"sort"
+
+	"progressdb/internal/analysis"
+)
+
+// Atomicfield enforces all-or-nothing atomicity per field: once any
+// access to a struct field or package-level variable goes through
+// sync/atomic — atomic.AddInt64(&s.n, 1), or a method call on an
+// atomic.Int64-style typed field — every other access module-wide must
+// too. A single plain read can observe a torn or stale value and a
+// single plain write can lose a concurrent atomic increment, so the
+// mixed pattern is a data race even when today's callers are
+// single-threaded; the whole point of using the atomic API is that the
+// next concurrent caller does not need to re-audit every access.
+//
+// For fields declared with an atomic.T type the plain-access shapes are
+// copying the value (`x := s.total` — the copy is not sharable and vet
+// flags it too) and overwriting it wholesale; taking its address is
+// fine (that is how the value is shared without copying).
+//
+// The check runs over the framework's module-wide access index, so the
+// atomic use and the plain use may live in different packages.
+var Atomicfield = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc: "a field or package variable accessed through sync/atomic " +
+		"anywhere must never be read or written plainly anywhere else " +
+		"in the module",
+	Run: func(pass *analysis.Pass) error { return nil },
+	End: endAtomicfield,
+}
+
+func endAtomicfield(pass *analysis.Pass) error {
+	keys := make([]string, 0, len(pass.Facts.Accesses))
+	for k := range pass.Facts.Accesses {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		accesses := pass.Facts.Accesses[key]
+		var firstAtomic *analysis.Access
+		atomicTyped := false
+		for i := range accesses {
+			a := &accesses[i]
+			if a.Atomic && firstAtomic == nil {
+				firstAtomic = a
+			}
+			if a.AtomicType {
+				atomicTyped = true
+			}
+		}
+		if firstAtomic == nil && !atomicTyped {
+			continue
+		}
+		kind := "field"
+		if !accesses[0].Field {
+			kind = "package variable"
+		}
+		for i := range accesses {
+			a := &accesses[i]
+			if a.Atomic {
+				continue
+			}
+			switch {
+			case a.AtomicType && a.Mode == analysis.ModeAddr:
+				// Sharing a pointer to an atomic.T is the intended way to
+				// avoid copying it.
+			case a.AtomicType:
+				pass.Reportf(a.Pos,
+					"%s of atomic %s %s copies/overwrites the atomic value: use its "+
+						"Load/Store methods", a.Mode, kind, shortKey(key))
+			case firstAtomic != nil:
+				pass.Reportf(a.Pos,
+					"plain %s of %s %s, which is accessed via sync/atomic elsewhere: "+
+						"mixed access races — use the atomic API on every access",
+					a.Mode, kind, shortKey(key))
+			}
+		}
+	}
+	return nil
+}

@@ -20,6 +20,10 @@ func All() []*analysis.Analyzer {
 		Closepath,
 		Obsnames,
 		Errwrap,
+		Lockdisc,
+		Atomicfield,
+		Sharedstate,
+		Goleak,
 	}
 }
 

@@ -232,6 +232,151 @@ func run(err error) {
 `)
 }
 
+func TestLockdiscFixture(t *testing.T) {
+	analysis.RunFixture(t, Lockdisc,
+		"progressdb/internal/server",
+		"testdata/lockdisc/locks.go")
+}
+
+func TestLockdiscOrderingFixture(t *testing.T) {
+	analysis.RunFixture(t, Lockdisc,
+		"progressdb/internal/server",
+		"testdata/lockdisc/ordering.go")
+}
+
+// TestLockdiscDirectiveErrors: a lockorder directive without the
+// `A < B` shape is itself a finding.
+func TestLockdiscDirectiveErrors(t *testing.T) {
+	m, err := analysis.FixtureModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := m.CheckSource("progressdb/internal/server", "order_directive_fixture.go", `
+package fixture
+
+//lint:lockorder job.mu subscriber.mu
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(m.Fset, []*analysis.Package{pkg}, []*analysis.Analyzer{Lockdisc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "malformed lock-order directive") {
+		t.Fatalf("got %v, want one malformed-directive diagnostic", diags)
+	}
+}
+
+func TestAtomicfieldFixture(t *testing.T) {
+	analysis.RunFixture(t, Atomicfield,
+		"progressdb/internal/obs",
+		"testdata/atomicfield/fields.go")
+}
+
+func TestSharedstateFixture(t *testing.T) {
+	analysis.RunFixture(t, Sharedstate,
+		"progressdb/internal/core",
+		"testdata/sharedstate/vars.go")
+}
+
+// TestSharedstateOutsideScope: the same mutable singletons outside the
+// engine-core packages are out of scope.
+func TestSharedstateOutsideScope(t *testing.T) {
+	analysis.RunSource(t, []*analysis.Analyzer{Sharedstate},
+		"progressdb/internal/harness", "harness_state_fixture.go", `
+package fixture
+
+var cache = map[string]int{}
+
+func remember(k string, v int) { cache[k] = v }
+`)
+}
+
+// TestSharedstateReportInventory pins the machine-readable inventory a
+// run leaves in the shared State: guards classified, written-outside-init
+// detected, structs sorted into guarded and unguarded.
+func TestSharedstateReportInventory(t *testing.T) {
+	m, err := analysis.FixtureModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := m.CheckFiles("progressdb/internal/core", "testdata/sharedstate/vars.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, state, err := analysis.RunWithState(m.Fset, []*analysis.Package{pkg}, []*analysis.Analyzer{Sharedstate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, ok := SharedStateReport(state)
+	if !ok {
+		t.Fatal("no sharedstate report in the run state")
+	}
+	vars := make(map[string]VarSite)
+	for _, v := range rep.PackageVars {
+		vars[v.Name] = v
+	}
+	for name, want := range map[string]struct {
+		guard   string
+		written bool
+	}{
+		"cache":       {"none", true},
+		"registry":    {"none", true},
+		"defaults":    {"none", false},
+		"once":        {"sync", false},
+		"hits":        {"atomic", true},
+		"initialized": {"none", false},
+	} {
+		v, ok := vars[name]
+		if !ok {
+			t.Errorf("package var %s missing from inventory", name)
+			continue
+		}
+		if v.Guard != want.guard || v.WrittenOutsideInit != want.written {
+			t.Errorf("%s: guard=%q written=%v, want guard=%q written=%v",
+				name, v.Guard, v.WrittenOutsideInit, want.guard, want.written)
+		}
+	}
+	structs := make(map[string]StructSite)
+	for _, s := range rep.Structs {
+		structs[s.Type] = s
+	}
+	if s, ok := structs["table"]; !ok || s.Unguarded || len(s.Guards) != 1 {
+		t.Errorf("table inventoried as %+v, want guarded struct with one mutex", s)
+	}
+	if s, ok := structs["cursor"]; !ok || !s.Unguarded {
+		t.Errorf("cursor inventoried as %+v, want unguarded struct", s)
+	}
+}
+
+func TestGoleakFixture(t *testing.T) {
+	analysis.RunFixture(t, Goleak,
+		"progressdb/internal/server",
+		"testdata/goleak/leaks.go")
+}
+
+// TestGoleakOutsideScope: goroutines outside engine/server/fleet (the
+// harness's measurement helpers, cmd binaries) are not checked.
+func TestGoleakOutsideScope(t *testing.T) {
+	analysis.RunSource(t, []*analysis.Analyzer{Goleak},
+		"progressdb/internal/harness", "harness_goroutine_fixture.go", `
+package fixture
+
+type job struct{ n int }
+
+func (j *job) spin() {
+	for {
+		j.n++
+	}
+}
+
+func (j *job) launch() {
+	go j.spin()
+}
+`)
+}
+
 // TestAllCleanOnFixturelessSource is a smoke check that the full suite
 // coexists on one innocuous package.
 func TestAllCleanOnFixturelessSource(t *testing.T) {

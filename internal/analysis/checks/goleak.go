@@ -1,0 +1,165 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"progressdb/internal/analysis"
+)
+
+// Goleak is the static complement of the runtime leak checks: every
+// goroutine launched in the engine, server, or fleet packages must
+// observe a shutdown path. The serving layer's liveness story depends
+// on it — a worker that never selects on its quit channel outlives
+// Close, keeps the engine pinned, and turns every drain/restart test
+// flaky.
+//
+// A launch passes if the launched function — or anything it reaches
+// through the module-wide call graph, go-edges excluded — does one of:
+//
+//   - receive from a channel (quit/queue channels, <-ctx.Done());
+//   - call ctx.Err() or ctx.Done() on a context.Context;
+//   - call (*sync.WaitGroup).Done, i.e. the launcher joins it.
+//
+// Receiving from any channel counts: a receive is a rendezvous the
+// launcher controls (close it, send to it), which is exactly the
+// property a leaked goroutine lacks. Bounded helper goroutines that
+// compute and exit without any rendezvous are rare in these packages
+// and explicit enough to carry a //lint:ignore goleak <reason>.
+var Goleak = &analysis.Analyzer{
+	Name: "goleak",
+	Doc: "every go statement in engine/server/fleet packages must reach " +
+		"a shutdown observation (channel receive, ctx.Done/Err, or " +
+		"WaitGroup.Done) through the call graph",
+	Run: runGoleak,
+	End: endGoleak,
+}
+
+const goleakStateKey = "goleak.state"
+
+type goleakState struct {
+	// observes: function keys whose bodies directly observe a shutdown
+	// signal.
+	observes map[string]bool
+	// launches: go statements in scoped packages, resolved to the
+	// launched function's key.
+	launches []goLaunch
+}
+
+type goLaunch struct {
+	key string
+	pos token.Pos
+}
+
+func goleakStateOf(pass *analysis.Pass) *goleakState {
+	if st, ok := pass.State.Get(goleakStateKey).(*goleakState); ok {
+		return st
+	}
+	st := &goleakState{observes: make(map[string]bool)}
+	pass.State.Set(goleakStateKey, st)
+	return st
+}
+
+// isGoleakScope: the packages whose goroutines must be joinable — the
+// engine set plus the serving layer. cmd/ binaries are out of scope:
+// their accept-loop goroutines live for the process.
+func isGoleakScope(path string) bool {
+	return isEnginePackage(path) ||
+		path == "progressdb/internal/server" ||
+		strings.HasPrefix(path, "progressdb/internal/server/")
+}
+
+func runGoleak(pass *analysis.Pass) error {
+	st := goleakStateOf(pass)
+
+	// Trait collection runs over every package (a scoped goroutine may
+	// call helpers anywhere in the module); launch collection only in
+	// scope.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			collectObserves(pass, st, fd.Pos(), fd.Body)
+		}
+	}
+	if !isGoleakScope(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			key := pass.Facts.CalleeKey(pass.TypesInfo, g.Call)
+			st.launches = append(st.launches, goLaunch{key: key, pos: g.Pos()})
+			return true
+		})
+	}
+	return nil
+}
+
+// collectObserves marks fn (and, recursively, its literals under their
+// own keys) if its body directly observes a shutdown signal.
+func collectObserves(pass *analysis.Pass, st *goleakState, fnPos token.Pos, body *ast.BlockStmt) {
+	key := pass.Facts.FuncKeyAt(fnPos)
+	if key == "" {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			collectObserves(pass, st, n.Pos(), n.Body)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				st.observes[key] = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.TypesInfo.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					st.observes[key] = true
+				}
+			}
+		case *ast.CallExpr:
+			switch pass.Facts.CalleeKey(pass.TypesInfo, n) {
+			case "(*sync.WaitGroup).Done":
+				st.observes[key] = true
+			case "(context.Context).Done", "(context.Context).Err":
+				st.observes[key] = true
+			default:
+				// Err/Done on a concrete context implementation.
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok &&
+					(sel.Sel.Name == "Done" || sel.Sel.Name == "Err") &&
+					len(n.Args) == 0 && isContextValue(pass, sel.X) {
+					st.observes[key] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+func endGoleak(pass *analysis.Pass) error {
+	st := goleakStateOf(pass)
+	for _, l := range st.launches {
+		if l.key == "" {
+			// A `go value()` through a function variable: unresolvable,
+			// left to the runtime leak checks.
+			continue
+		}
+		if _, ok := pass.Facts.FindPath(l.key, func(k string) bool { return st.observes[k] }); ok {
+			continue
+		}
+		pass.Reportf(l.pos,
+			"goroutine %s observes no shutdown signal: select on a quit "+
+				"channel or ctx.Done(), poll ctx.Err(), or join it with a "+
+				"WaitGroup (//lint:ignore goleak <reason> if its lifetime is "+
+				"provably bounded)", shortKey(l.key))
+	}
+	return nil
+}

@@ -1,0 +1,899 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"progressdb/internal/analysis"
+)
+
+// Lockdisc checks mutex discipline, module-wide. Three rules:
+//
+//  1. Release on every path. A sync.Mutex/RWMutex Lock (or RLock) must
+//     be released on all paths out of its critical section — either by
+//     an immediate `defer mu.Unlock()` or by explicit unwinding like
+//     the closepath analyzer accepts: a statement between Lock and the
+//     fall-through Unlock that returns must itself unlock first.
+//
+//  2. No blocking under a lock. While a mutex is held, the critical
+//     section must not block: channel sends/receives outside a select
+//     with a default case, selects without a default, sync.Cond.Wait,
+//     sync.WaitGroup.Wait, time.Sleep, or os.File I/O — directly, or
+//     transitively through any function the module-wide call graph
+//     says the section reaches. Calls through bare function values are
+//     flagged too: the analyzer cannot see behind them, and the one
+//     real bug this rule caught (the fleet aggregator invoking its
+//     paced progress callback under the state mutex) hid exactly there.
+//     A lock that intentionally serializes a long region (the fleet's
+//     per-shard coarse lock) opts out with //lint:lockcoarse <reason>
+//     on the field declaration.
+//
+//  3. Ordered acquisition. Nested acquisitions — direct or through the
+//     call graph — form an acquisition graph. //lint:lockorder A < B
+//     declares that A may be held while taking B; taking A while
+//     holding B is reported, as is any cycle in the observed graph
+//     (two locks taken in both orders deadlock under concurrency even
+//     if today's single-threaded engine never trips it).
+//
+// The analysis is syntactic and deliberately conservative in known
+// ways: lock identity is the receiver's final field ("pkg.Type.field"),
+// so two instances of one type share an identity; go-launched literals
+// do not inherit held locks; deferred calls other than Unlock are not
+// treated as part of the critical section.
+var Lockdisc = &analysis.Analyzer{
+	Name: "lockdisc",
+	Doc: "every Lock has an Unlock on all paths; no blocking call " +
+		"(directly or via the call graph) while a lock is held; lock " +
+		"acquisition respects //lint:lockorder declarations and is " +
+		"cycle-free",
+	Run: runLockdisc,
+	End: endLockdisc,
+}
+
+const (
+	lockdiscStateKey = "lockdisc.state"
+	// lockorderDirective declares a pairwise acquisition order:
+	// //lint:lockorder before < after (keys matched by suffix).
+	lockorderDirective = "lint:lockorder"
+	// lockcoarseDirective on a mutex field declaration exempts that
+	// lock from the no-blocking rule: //lint:lockcoarse <reason>.
+	lockcoarseDirective = "lint:lockcoarse"
+)
+
+// lockdiscState accumulates module-wide facts across Run passes.
+type lockdiscState struct {
+	// heldCalls: static calls made while a lock is held.
+	heldCalls []heldCall
+	// dynCalls: function-value calls made while a lock is held.
+	dynCalls []heldSite
+	// directBlocks: blocking operations lexically inside a held region.
+	directBlocks []heldSite
+	// funcBlocks: first directly blocking operation per function.
+	funcBlocks map[string]blockOp
+	// funcDyn: first call through a function value per function — an
+	// opaque site that may block, resolved transitively like funcBlocks.
+	funcDyn map[string]blockOp
+	// funcAcquires: locks each function acquires anywhere in its body.
+	funcAcquires map[string][]acquireSite
+	// edges: direct nested acquisitions (lock held while taking another).
+	edges []lockEdge
+	// orders: declared //lint:lockorder pairs.
+	orders []orderDecl
+	// coarse: lock keys carrying //lint:lockcoarse.
+	coarse map[string]bool
+}
+
+type heldCall struct {
+	lock   string
+	callee string
+	pos    token.Pos
+}
+
+type heldSite struct {
+	lock string
+	desc string
+	pos  token.Pos
+}
+
+type blockOp struct {
+	desc string
+	pos  token.Pos
+}
+
+type acquireSite struct {
+	lock string
+	pos  token.Pos
+}
+
+type lockEdge struct {
+	from, to string
+	pos      token.Pos
+}
+
+type orderDecl struct {
+	before, after string
+	pos           token.Pos
+}
+
+func lockdiscStateOf(pass *analysis.Pass) *lockdiscState {
+	if st, ok := pass.State.Get(lockdiscStateKey).(*lockdiscState); ok {
+		return st
+	}
+	st := &lockdiscState{
+		funcBlocks:   make(map[string]blockOp),
+		funcDyn:      make(map[string]blockOp),
+		funcAcquires: make(map[string][]acquireSite),
+		coarse:       make(map[string]bool),
+	}
+	pass.State.Set(lockdiscStateKey, st)
+	return st
+}
+
+func runLockdisc(pass *analysis.Pass) error {
+	st := lockdiscStateOf(pass)
+	collectLockDirectives(pass, st)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			scanLockFunc(pass, st, fd.Pos(), fd.Body)
+		}
+	}
+	return nil
+}
+
+// collectLockDirectives parses //lint:lockorder comments anywhere and
+// //lint:lockcoarse comments on mutex field declarations.
+func collectLockDirectives(pass *analysis.Pass, st *lockdiscState) {
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, lockorderDirective) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, lockorderDirective))
+				before, after, ok := strings.Cut(rest, "<")
+				before, after = strings.TrimSpace(before), strings.TrimSpace(after)
+				if !ok || before == "" || after == "" {
+					pass.Reportf(c.Pos(), "malformed lock-order directive: want //lint:lockorder <lockA> < <lockB>")
+					continue
+				}
+				st.orders = append(st.orders, orderDecl{before: before, after: after, pos: c.Pos()})
+			}
+		}
+	}
+	// lockcoarse rides on struct fields of mutex type.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			stype, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range stype.Fields.List {
+				reason, found := fieldDirective(field, lockcoarseDirective)
+				if !found {
+					continue
+				}
+				if reason == "" {
+					pass.Reportf(field.Pos(), "lint:lockcoarse needs a reason")
+					continue
+				}
+				tv, ok := pass.TypesInfo.Types[field.Type]
+				if !ok || !isMutexType(tv.Type) {
+					pass.Reportf(field.Pos(), "lint:lockcoarse on a non-mutex field has no effect")
+					continue
+				}
+				for _, name := range field.Names {
+					key := pass.Path + "." + ts.Name.Name + "." + name.Name
+					st.coarse[key] = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// fieldDirective finds a directive in a struct field's doc or line
+// comment and returns its argument text.
+func fieldDirective(field *ast.Field, directive string) (arg string, found bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if strings.HasPrefix(text, directive) {
+				return strings.TrimSpace(strings.TrimPrefix(text, directive)), true
+			}
+		}
+	}
+	return "", false
+}
+
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex"
+}
+
+// lockCall classifies a statement as a mutex Lock/Unlock call.
+type lockCall struct {
+	key    string // lock identity
+	method string // Lock, RLock, Unlock, RUnlock
+}
+
+// classifyLockCall returns the lock call a call expression performs.
+func classifyLockCall(pass *analysis.Pass, call *ast.CallExpr) (lockCall, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockCall{}, false
+	}
+	method := sel.Sel.Name
+	switch method {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return lockCall{}, false
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return lockCall{}, false
+	}
+	if !isMutexType(s.Recv()) {
+		return lockCall{}, false
+	}
+	key := lockKeyOf(pass, sel.X)
+	if key == "" {
+		return lockCall{}, false
+	}
+	return lockCall{key: key, method: method}, true
+}
+
+// lockKeyOf names the lock receiver: the final field of the selector
+// chain ("pkg.Type.field"), a package-level variable ("pkg.var"), a
+// local variable ("local:name"), or the embedding struct when the mutex
+// is embedded.
+func lockKeyOf(pass *analysis.Pass, recv ast.Expr) string {
+	switch e := ast.Unparen(recv).(type) {
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.Uses[e].(*types.Var); ok {
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Path() + "." + v.Name()
+			}
+			return "local:" + v.Name()
+		}
+	case *ast.SelectorExpr:
+		if s, ok := pass.TypesInfo.Selections[e]; ok && s.Kind() == types.FieldVal {
+			t := s.Recv()
+			for {
+				if p, ok := t.(*types.Pointer); ok {
+					t = p.Elem()
+					continue
+				}
+				break
+			}
+			if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+				return named.Obj().Pkg().Path() + "." + named.Obj().Name() + "." + s.Obj().Name()
+			}
+		}
+		return lockKeyOf(pass, e.Sel)
+	case *ast.IndexExpr:
+		return lockKeyOf(pass, e.X)
+	case *ast.StarExpr:
+		return lockKeyOf(pass, e.X)
+	}
+	return ""
+}
+
+func unlockFor(method string) string {
+	if method == "RLock" || method == "TryRLock" {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+// scanLockFunc analyzes one function body (literals are scanned when
+// encountered, with their own keys) for lock regions, per-function
+// blocking facts, and acquisitions.
+func scanLockFunc(pass *analysis.Pass, st *lockdiscState, fnPos token.Pos, body *ast.BlockStmt) {
+	key := pass.Facts.FuncKeyAt(fnPos)
+	if key == "" {
+		return
+	}
+
+	// Per-function facts for the End phase: the first blocking op, and
+	// every lock acquired.
+	if op, ok := firstBlockingOp(pass, body); ok {
+		if _, seen := st.funcBlocks[key]; !seen {
+			st.funcBlocks[key] = op
+		}
+	}
+	inspectSkippingFuncLits(body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if lc, ok := classifyLockCall(pass, call); ok && (lc.method == "Lock" || lc.method == "RLock") {
+			st.funcAcquires[key] = append(st.funcAcquires[key], acquireSite{lock: lc.key, pos: call.Pos()})
+		}
+		if pass.Facts.CalleeKey(pass.TypesInfo, call) == "" && isDynamicCall(pass, call) {
+			if _, seen := st.funcDyn[key]; !seen {
+				st.funcDyn[key] = blockOp{desc: callSource(call), pos: call.Pos()}
+			}
+		}
+	})
+
+	// Nested literals get their own scan (immediately invoked ones were
+	// handled above; the rest here).
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			scanLockFunc(pass, st, lit.Pos(), lit.Body)
+			return false
+		}
+		return true
+	})
+
+	// Lock regions: statement lists in this function, literals excluded.
+	forEachStmtList(body, func(list []ast.Stmt, isFuncBody bool) {
+		for i, s := range list {
+			es, ok := s.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			lc, ok := classifyLockCall(pass, call)
+			if !ok || (lc.method != "Lock" && lc.method != "RLock") {
+				continue
+			}
+			analyzeLockRegion(pass, st, key, lc, call.Pos(), list, i, isFuncBody)
+		}
+	})
+}
+
+// forEachStmtList visits every statement list of the body — the body
+// itself, nested blocks, case and comm clause bodies — skipping
+// function literals (scanned separately under their own keys).
+func forEachStmtList(body *ast.BlockStmt, visit func(list []ast.Stmt, isFuncBody bool)) {
+	visit(body.List, true)
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.BlockStmt:
+				if m != body {
+					visit(m.List, false)
+				}
+			case *ast.CaseClause:
+				visit(m.Body, false)
+			case *ast.CommClause:
+				visit(m.Body, false)
+			}
+			return true
+		})
+	}
+	walk(body)
+}
+
+// inspectSkippingFuncLits is ast.Inspect with function-literal subtrees
+// pruned.
+func inspectSkippingFuncLits(n ast.Node, visit func(ast.Node)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if m != nil {
+			visit(m)
+		}
+		return true
+	})
+}
+
+// analyzeLockRegion checks release-on-all-paths for the Lock at
+// list[lockIdx] and records the held region's calls, dynamic calls,
+// direct blocking ops, and nested acquisitions.
+func analyzeLockRegion(pass *analysis.Pass, st *lockdiscState, fnKey string, lc lockCall, lockPos token.Pos, list []ast.Stmt, lockIdx int, isFuncBody bool) {
+	unlock := unlockFor(lc.method)
+	var held []ast.Stmt
+	satisfied := false
+scan:
+	for j := lockIdx + 1; j < len(list); j++ {
+		s := list[j]
+		switch {
+		case isDeferStmt(pass, s, lc.key, unlock):
+			// defer unlock: the rest of this list runs under the lock.
+			held = append(held, list[j+1:]...)
+			satisfied = true
+			break scan
+		case isBareUnlock(pass, s, lc.key, unlock):
+			satisfied = true
+			break scan
+		case containsUnlock(pass, s, lc.key, unlock):
+			// A branch unlocks inside (e.g. unlock-then-return error
+			// unwinding); accept the statement and stop — the remaining
+			// paths are beyond this syntactic check.
+			held = append(held, s)
+			satisfied = true
+			break scan
+		default:
+			if ret := findReturn(s); ret != nil {
+				pass.Reportf(ret.Pos(),
+					"return inside %s critical section without %s: unlock on this path or use defer %s",
+					lc.key, unlock, unlock)
+				satisfied = true
+				break scan
+			}
+			held = append(held, s)
+		}
+	}
+	if !satisfied && isFuncBody {
+		pass.Reportf(lockPos,
+			"%s is locked but never released on the fall-through path: add defer %s",
+			lc.key, unlock)
+	}
+	collectHeldRegion(pass, st, fnKey, lc.key, held)
+}
+
+// isDeferStmt reports whether s is `defer <lock>.<method>()`.
+func isDeferStmt(pass *analysis.Pass, s ast.Stmt, key, method string) bool {
+	d, ok := s.(*ast.DeferStmt)
+	if !ok {
+		return false
+	}
+	lc, ok := classifyLockCall(pass, d.Call)
+	return ok && lc.key == key && lc.method == method
+}
+
+// isBareUnlock reports whether s is the expression statement
+// `<lock>.<method>()`.
+func isBareUnlock(pass *analysis.Pass, s ast.Stmt, key, method string) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	lc, ok := classifyLockCall(pass, call)
+	return ok && lc.key == key && lc.method == method
+}
+
+// containsUnlock reports whether the statement's subtree (literals
+// excluded) releases the lock, by call or defer.
+func containsUnlock(pass *analysis.Pass, s ast.Stmt, key, method string) bool {
+	found := false
+	inspectSkippingFuncLits(s, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if lc, ok := classifyLockCall(pass, call); ok && lc.key == key && lc.method == method {
+			found = true
+		}
+	})
+	return found
+}
+
+// findReturn returns the first return statement in the subtree
+// (literals excluded), or nil.
+func findReturn(s ast.Stmt) *ast.ReturnStmt {
+	var ret *ast.ReturnStmt
+	inspectSkippingFuncLits(s, func(n ast.Node) {
+		if r, ok := n.(*ast.ReturnStmt); ok && ret == nil {
+			ret = r
+		}
+	})
+	return ret
+}
+
+// collectHeldRegion records what happens while lock is held: static
+// calls (resolved through Facts), dynamic calls, direct blocking
+// operations, and nested acquisitions. Deferred calls, go statements,
+// and function-literal bodies are excluded — they run outside the
+// critical section (or on their own goroutine).
+func collectHeldRegion(pass *analysis.Pass, st *lockdiscState, fnKey, lock string, held []ast.Stmt) {
+	for _, s := range held {
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+				return false
+			case *ast.SendStmt:
+				if !insideSelectComm(s, n.Pos()) {
+					st.directBlocks = append(st.directBlocks, heldSite{lock: lock, desc: "channel send", pos: n.Pos()})
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW && !insideSelectComm(s, n.Pos()) {
+					st.directBlocks = append(st.directBlocks, heldSite{lock: lock, desc: "channel receive", pos: n.Pos()})
+				}
+			case *ast.SelectStmt:
+				if !hasDefaultClause(n) {
+					st.directBlocks = append(st.directBlocks, heldSite{lock: lock, desc: "select without default", pos: n.Pos()})
+				}
+			case *ast.CallExpr:
+				if lc, ok := classifyLockCall(pass, n); ok {
+					if lc.method == "Lock" || lc.method == "RLock" {
+						st.edges = append(st.edges, lockEdge{from: lock, to: lc.key, pos: n.Pos()})
+					}
+					return true
+				}
+				key := pass.Facts.CalleeKey(pass.TypesInfo, n)
+				if key == "" {
+					if isDynamicCall(pass, n) {
+						st.dynCalls = append(st.dynCalls, heldSite{lock: lock, desc: callSource(n), pos: n.Pos()})
+					}
+					return true
+				}
+				if desc, ok := blockingCallee(key); ok {
+					st.directBlocks = append(st.directBlocks, heldSite{lock: lock, desc: desc, pos: n.Pos()})
+					return true
+				}
+				st.heldCalls = append(st.heldCalls, heldCall{lock: lock, callee: key, pos: n.Pos()})
+			}
+			return true
+		}
+		ast.Inspect(s, walk)
+	}
+}
+
+// isDynamicCall reports whether call goes through a function value
+// (not a conversion, builtin, or method/function reference).
+func isDynamicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fun := ast.Unparen(call.Fun)
+	if tv, ok := pass.TypesInfo.Types[fun]; ok && tv.IsType() {
+		return false
+	}
+	switch f := fun.(type) {
+	case *ast.Ident:
+		switch pass.TypesInfo.Uses[f].(type) {
+		case *types.Builtin, *types.TypeName, *types.Func:
+			return false
+		}
+		return true
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[f]; ok {
+			// A method call is static (already keyed); selecting a
+			// func-typed field is the canonical dynamic callback.
+			_, isMethod := sel.Obj().(*types.Func)
+			return !isMethod
+		}
+		if _, ok := pass.TypesInfo.Uses[f.Sel].(*types.Func); ok {
+			return false
+		}
+		return true
+	case *ast.FuncLit:
+		return false
+	}
+	return true
+}
+
+func callSource(call *ast.CallExpr) string {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if x, ok := f.X.(*ast.Ident); ok {
+			return x.Name + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	}
+	return "function value"
+}
+
+// blockingCallee reports whether a static callee is in the known
+// blocking set.
+func blockingCallee(key string) (string, bool) {
+	switch key {
+	case "time.Sleep":
+		return "time.Sleep", true
+	case "(*sync.Cond).Wait":
+		return "sync.Cond.Wait", true
+	case "(*sync.WaitGroup).Wait":
+		return "sync.WaitGroup.Wait", true
+	}
+	if strings.HasPrefix(key, "(*os.File).") {
+		return "os.File I/O (" + strings.TrimPrefix(key, "(*os.File).") + ")", true
+	}
+	switch key {
+	case "os.Open", "os.Create", "os.OpenFile", "os.ReadFile", "os.WriteFile",
+		"os.Remove", "os.RemoveAll", "os.Rename", "os.Stat", "os.ReadDir",
+		"os.Mkdir", "os.MkdirAll", "os.Truncate":
+		return "file I/O (" + key + ")", true
+	}
+	return "", false
+}
+
+// firstBlockingOp finds the first directly blocking operation in a
+// function body (literals excluded), for the call-graph fact map.
+func firstBlockingOp(pass *analysis.Pass, body *ast.BlockStmt) (blockOp, bool) {
+	var op blockOp
+	found := false
+	record := func(desc string, pos token.Pos) {
+		if !found {
+			op, found = blockOp{desc: desc, pos: pos}, true
+		}
+	}
+	inspectSkippingFuncLits(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if !insideSelectComm(body, n.Pos()) {
+				record("channel send", n.Pos())
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !insideSelectComm(body, n.Pos()) {
+				record("channel receive", n.Pos())
+			}
+		case *ast.SelectStmt:
+			if !hasDefaultClause(n) {
+				record("select without default", n.Pos())
+			}
+		case *ast.CallExpr:
+			if _, ok := classifyLockCall(pass, n); ok {
+				return
+			}
+			key := pass.Facts.CalleeKey(pass.TypesInfo, n)
+			if desc, ok := blockingCallee(key); ok {
+				record(desc, n.Pos())
+			}
+		}
+	})
+	return op, found
+}
+
+func hasDefaultClause(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// insideSelectComm reports whether pos lies in a communication clause
+// of any select under root. Such sends/receives are not reported
+// individually: with a default case they are non-blocking attempts, and
+// without one the select itself is the single blocking site.
+func insideSelectComm(root ast.Node, pos token.Pos) bool {
+	inComm := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			if cc.Comm.Pos() <= pos && pos <= cc.Comm.End() {
+				inComm = true
+			}
+		}
+		return true
+	})
+	return inComm
+}
+
+// ---- End: interprocedural resolution ----
+
+func endLockdisc(pass *analysis.Pass) error {
+	st := lockdiscStateOf(pass)
+
+	// Direct blocking operations and dynamic calls under a lock.
+	for _, site := range st.directBlocks {
+		if st.coarse[site.lock] {
+			continue
+		}
+		pass.Reportf(site.pos,
+			"blocking %s while %s is held: move it out of the critical section "+
+				"or declare the lock //lint:lockcoarse <reason>",
+			site.desc, site.lock)
+	}
+	for _, site := range st.dynCalls {
+		if st.coarse[site.lock] {
+			continue
+		}
+		pass.Reportf(site.pos,
+			"call through function value %s while %s is held may block: "+
+				"invoke callbacks outside the critical section or declare the "+
+				"lock //lint:lockcoarse <reason>",
+			site.desc, site.lock)
+	}
+
+	// Transitive blocking through the call graph, and interprocedural
+	// acquisitions.
+	edges := append([]lockEdge(nil), st.edges...)
+	for _, hc := range st.heldCalls {
+		reach := pass.Facts.Reachable(hc.callee)
+		if !st.coarse[hc.lock] {
+			if path, ok := pass.Facts.FindPath(hc.callee, func(k string) bool {
+				_, blocks := st.funcBlocks[k]
+				return blocks
+			}); ok {
+				end := hc.callee
+				if len(path) > 0 {
+					end = path[len(path)-1].Callee
+				}
+				op := st.funcBlocks[end]
+				pass.Reportf(hc.pos,
+					"%s is held across a call to %s, which transitively blocks (%s in %s): "+
+						"shrink the critical section or declare the lock //lint:lockcoarse <reason>",
+					hc.lock, shortKey(hc.callee), op.desc, shortKey(end))
+			} else if path, ok := pass.Facts.FindPath(hc.callee, func(k string) bool {
+				_, dyn := st.funcDyn[k]
+				return dyn
+			}); ok {
+				end := hc.callee
+				if len(path) > 0 {
+					end = path[len(path)-1].Callee
+				}
+				op := st.funcDyn[end]
+				pass.Reportf(hc.pos,
+					"%s is held across a call to %s, which calls through the function "+
+						"value %s (in %s) and may block: invoke callbacks outside the "+
+						"critical section or declare the lock //lint:lockcoarse <reason>",
+					hc.lock, shortKey(hc.callee), op.desc, shortKey(end))
+			}
+		}
+		for k := range reach {
+			for _, acq := range st.funcAcquires[k] {
+				if strings.HasPrefix(acq.lock, "local:") {
+					continue
+				}
+				edges = append(edges, lockEdge{from: hc.lock, to: acq.lock, pos: hc.pos})
+			}
+		}
+	}
+
+	reportLockOrder(pass, st, edges)
+	return nil
+}
+
+// shortKey trims the module path prefix for readable diagnostics.
+func shortKey(key string) string {
+	return strings.ReplaceAll(key, "progressdb/internal/", "")
+}
+
+// matchLockPattern reports whether a declared-order pattern names the
+// lock key (exact, or as a '.'-separated suffix).
+func matchLockPattern(key, pattern string) bool {
+	return key == pattern || strings.HasSuffix(key, "."+pattern) || strings.HasSuffix(key, "/"+pattern)
+}
+
+// reportLockOrder applies declared //lint:lockorder pairs to the
+// observed acquisition graph and then looks for cycles among the
+// remaining edges.
+func reportLockOrder(pass *analysis.Pass, st *lockdiscState, edges []lockEdge) {
+	// Dedupe to one representative (earliest-seen) edge per from→to
+	// pair; self-edges are immediate deadlocks.
+	sort.SliceStable(edges, func(i, j int) bool { return edges[i].pos < edges[j].pos })
+	uniq := make(map[string]lockEdge)
+	var order []string
+	for _, e := range edges {
+		if strings.HasPrefix(e.from, "local:") || strings.HasPrefix(e.to, "local:") {
+			continue
+		}
+		id := e.from + "→" + e.to
+		if _, ok := uniq[id]; !ok {
+			uniq[id] = e
+			order = append(order, id)
+		}
+	}
+
+	declaredPair := make(map[string]bool) // pairs covered by a declaration
+	for _, id := range order {
+		e := uniq[id]
+		if e.from == e.to {
+			pass.Reportf(e.pos, "lock %s acquired while already held (self-deadlock)", e.from)
+			delete(uniq, id)
+			continue
+		}
+		for _, d := range st.orders {
+			fm, tm := matchLockPattern(e.from, d.after), matchLockPattern(e.to, d.before)
+			if fm && tm {
+				pass.Reportf(e.pos,
+					"acquiring %s while holding %s violates the declared order //lint:lockorder %s < %s",
+					e.to, e.from, d.before, d.after)
+				delete(uniq, id)
+			}
+			if (matchLockPattern(e.from, d.before) && matchLockPattern(e.to, d.after)) || (fm && tm) {
+				declaredPair[pairID(e.from, e.to)] = true
+			}
+		}
+	}
+
+	// Cycle detection over the surviving edges. Pairs a declaration
+	// already covers are skipped: the violation report above is the
+	// actionable finding.
+	adj := make(map[string][]lockEdge)
+	var nodes []string
+	seenNode := make(map[string]bool)
+	for _, id := range order {
+		e, ok := uniq[id]
+		if !ok {
+			continue
+		}
+		adj[e.from] = append(adj[e.from], e)
+		for _, n := range []string{e.from, e.to} {
+			if !seenNode[n] {
+				seenNode[n] = true
+				nodes = append(nodes, n)
+			}
+		}
+	}
+	sort.Strings(nodes)
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	var stack []lockEdge
+	reported := make(map[string]bool)
+	var dfs func(n string)
+	dfs = func(n string) {
+		color[n] = grey
+		for _, e := range adj[n] {
+			if color[e.to] == grey {
+				// Found a cycle: the chain from e.to around to e.
+				cycle := []lockEdge{e}
+				for i := len(stack) - 1; i >= 0; i-- {
+					cycle = append(cycle, stack[i])
+					if stack[i].from == e.to {
+						break
+					}
+				}
+				id := pairID(e.from, e.to)
+				if !declaredPair[id] && !reported[id] {
+					reported[id] = true
+					var names []string
+					for i := len(cycle) - 1; i >= 0; i-- {
+						names = append(names, cycle[i].from)
+					}
+					names = append(names, e.to)
+					pass.Reportf(e.pos,
+						"lock-order cycle (deadlock risk): %s — declare a hierarchy with //lint:lockorder and acquire in one order",
+						strings.Join(names, " → "))
+				}
+				continue
+			}
+			if color[e.to] == white {
+				stack = append(stack, e)
+				dfs(e.to)
+				stack = stack[:len(stack)-1]
+			}
+		}
+		color[n] = black
+	}
+	for _, n := range nodes {
+		if color[n] == white {
+			dfs(n)
+		}
+	}
+}
+
+func pairID(a, b string) string {
+	if a > b {
+		a, b = b, a
+	}
+	return a + "|" + b
+}

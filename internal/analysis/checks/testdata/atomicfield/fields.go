@@ -1,0 +1,56 @@
+// Mixed atomic/plain access fixtures. Field identity is module-wide
+// ("pkg.Type.field"), so one sync/atomic access anywhere poisons plain
+// access everywhere.
+package fixture
+
+import "sync/atomic"
+
+type stats struct {
+	hits  int64
+	total atomic.Int64
+	plain int
+}
+
+func (s *stats) bump() {
+	atomic.AddInt64(&s.hits, 1)
+	s.total.Add(1)
+}
+
+func (s *stats) readHits() int64 {
+	return s.hits // want `plain read of field obs\.stats\.hits, which is accessed via sync/atomic elsewhere`
+}
+
+func (s *stats) reset() {
+	s.hits = 0 // want `plain write of field obs\.stats\.hits`
+}
+
+func (s *stats) snapshotTotal() int64 {
+	t := s.total // want `read of atomic field obs\.stats\.total copies/overwrites the atomic value`
+	return t.Load()
+}
+
+// okTotal uses the atomic API on the atomic-typed field.
+func (s *stats) okTotal() int64 {
+	return s.total.Load()
+}
+
+// okPlain: a field never touched atomically may be accessed plainly.
+func (s *stats) okPlain() {
+	s.plain++
+}
+
+// totalOf: taking the address of an atomic.T is how the value is shared
+// without copying, and passes.
+func totalOf(s *stats) *atomic.Int64 {
+	return &s.total
+}
+
+var refreshes int64
+
+func tick() {
+	atomic.AddInt64(&refreshes, 1)
+}
+
+func lastRefreshes() int64 {
+	return refreshes // want `plain read of package variable obs\.refreshes`
+}

@@ -1,0 +1,87 @@
+// Goroutine shutdown-observation fixtures: every launch in a scoped
+// package must reach a channel receive, a ctx.Done/Err observation, or
+// a WaitGroup.Done through the call graph.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+type srv struct {
+	quit chan struct{}
+	work chan int
+	n    int
+}
+
+func (s *srv) step() { s.n++ }
+
+// okSelect: the worker selects on its quit channel.
+func (s *srv) okSelect() {
+	go func() {
+		for {
+			select {
+			case w := <-s.work:
+				_ = w
+			case <-s.quit:
+				return
+			}
+		}
+	}()
+}
+
+// okRange: ranging over a channel ends when the launcher closes it.
+func (s *srv) okRange() {
+	go func() {
+		for w := range s.work {
+			_ = w
+		}
+	}()
+}
+
+func poll(ctx context.Context) bool { return ctx.Err() == nil }
+
+func (s *srv) loop(ctx context.Context) {
+	for poll(ctx) {
+		s.step()
+	}
+}
+
+// okCtxTransitive: the shutdown observation sits two calls deep.
+func (s *srv) okCtxTransitive(ctx context.Context) {
+	go s.loop(ctx)
+}
+
+// okWait: the launcher joins the goroutine with a WaitGroup.
+func (s *srv) okWait(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+		s.step()
+	}()
+}
+
+// leak: loops forever with no rendezvous the launcher could use.
+func (s *srv) leak() {
+	go func() { // want `observes no shutdown signal`
+		for {
+			s.step()
+		}
+	}()
+}
+
+func (s *srv) spin() {
+	for {
+		s.step()
+	}
+}
+
+// leakNamed: the leak is a named method, resolved through the graph.
+func (s *srv) leakNamed() {
+	go s.spin() // want `observes no shutdown signal`
+}
+
+// launchDyn: launches through function values are unresolvable and left
+// to the runtime leak checks.
+func launchDyn(fn func()) {
+	go fn()
+}

@@ -1,0 +1,73 @@
+// Lock-ordering rules: declared hierarchies, inversions, cycles seen
+// through the call graph, self-deadlocks, and directive hygiene.
+package fixture
+
+import "sync"
+
+//lint:lockorder pair.a < pair.b
+
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+	n int
+}
+
+// good acquires in the declared order.
+func (p *pair) good() {
+	p.a.Lock()
+	p.b.Lock()
+	p.n++
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+// bad inverts it.
+func (p *pair) bad() {
+	p.b.Lock()
+	p.a.Lock() // want `acquiring .*pair\.a while holding .*pair\.b violates the declared order`
+	p.n++
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// duo's locks have no declared order; taking them in both orders — one
+// of the nested acquisitions hiding behind a call — is a cycle.
+type duo struct {
+	x sync.Mutex
+	y sync.Mutex
+}
+
+func (d *duo) lockY() {
+	d.y.Lock()
+	d.y.Unlock()
+}
+
+func (d *duo) xThenY() {
+	d.x.Lock()
+	d.lockY()
+	d.x.Unlock()
+}
+
+func (d *duo) yThenX() {
+	d.y.Lock()
+	d.x.Lock() // want `lock-order cycle \(deadlock risk\)`
+	d.x.Unlock()
+	d.y.Unlock()
+}
+
+// relock re-acquires a lock the function already holds.
+func (d *duo) relock() {
+	d.x.Lock()
+	d.x.Lock() // want `acquired while already held \(self-deadlock\)`
+	d.x.Unlock()
+	d.x.Unlock()
+}
+
+// badcoarse: the lockcoarse directive must carry a reason and sit on a
+// mutex field.
+type badcoarse struct {
+	//lint:lockcoarse
+	mu sync.Mutex // want `lint:lockcoarse needs a reason`
+	//lint:lockcoarse the counter is not a lock
+	n int // want `lint:lockcoarse on a non-mutex field has no effect`
+}

@@ -1,0 +1,54 @@
+// Shared-state audit fixtures: package-level mutables in an engine-core
+// package. Only unguarded variables written outside init are errors;
+// everything lands in the -sharedstate inventory.
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+var cache = map[string]int{} // want `unguarded mutable package-level variable cache`
+
+func remember(k string, v int) {
+	cache[k] = v
+}
+
+var registry []string // want `unguarded mutable package-level variable registry`
+
+func register(name string) {
+	registry = append(registry, name)
+}
+
+// defaults is only ever read: init-only state passes.
+var defaults = map[string]int{"a": 1}
+
+func lookup(k string) int { return defaults[k] }
+
+// once is sync-guarded by type.
+var once sync.Once
+
+func doOnce(f func()) { once.Do(f) }
+
+// hits is written after init but atomically.
+var hits atomic.Int64
+
+func hit() { hits.Add(1) }
+
+// initialized is only written during package initialization.
+var initialized bool
+
+func init() {
+	initialized = true
+}
+
+// table/cursor exist for the struct inventory: table is guarded,
+// cursor is per-worker state with no guard (reported, not flagged).
+type table struct {
+	mu   sync.Mutex
+	rows []int
+}
+
+type cursor struct {
+	pos int
+}

@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+)
+
+// JSONDiagnostic is the stable machine-readable encoding of one
+// Diagnostic: what `progresslint -json` emits, one element per finding.
+// The schema is a documented interface (README "Machine-readable
+// output") that downstream tooling may parse: fields may be added in
+// later versions, but the existing names, types, and meanings do not
+// change.
+type JSONDiagnostic struct {
+	// File is the path as the loader saw it (relative to the module
+	// root when progresslint runs from there).
+	File string `json:"file"`
+	// Line and Column are 1-based.
+	Line   int `json:"line"`
+	Column int `json:"column"`
+	// Analyzer is the reporting analyzer's name, as listed by -list.
+	Analyzer string `json:"analyzer"`
+	// Message is the human-readable finding.
+	Message string `json:"message"`
+}
+
+// JSON converts a resolved Diagnostic to its stable wire form.
+func (d Diagnostic) JSON() JSONDiagnostic {
+	return JSONDiagnostic{
+		File:     d.Pos.Filename,
+		Line:     d.Pos.Line,
+		Column:   d.Pos.Column,
+		Analyzer: d.Analyzer,
+		Message:  d.Message,
+	}
+}
+
+// DiagnosticsJSON encodes diagnostics as an indented JSON array
+// followed by a newline, without HTML escaping (messages quote source
+// and directives like //lint:lockcoarse <reason> verbatim). The result
+// is always an array — an empty run encodes as [], never null — so
+// `-json` consumers can index unconditionally.
+func DiagnosticsJSON(diags []Diagnostic) ([]byte, error) {
+	out := make([]JSONDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, d.JSON())
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestDiagnosticsJSONGolden pins the -json wire format against a
+// committed golden file. The schema is documented in the README as a
+// stable interface: if this test fails because a field was renamed,
+// retyped, or removed, that is a breaking change for downstream
+// parsers — add fields instead.
+func TestDiagnosticsJSONGolden(t *testing.T) {
+	diags := []Diagnostic{
+		{
+			Pos:      token.Position{Filename: "internal/core/iterator.go", Line: 42, Column: 7},
+			Analyzer: "vclocktime",
+			Message:  "wall-clock time.Now in an engine package: use the virtual clock",
+		},
+		{
+			Pos:      token.Position{Filename: "internal/fleet/progress.go", Line: 96, Column: 2},
+			Analyzer: "lockdisc",
+			Message: "fleet.aggregator.mu is held across a call to buildLocked, " +
+				"which calls through the function value a.onProgress (in " +
+				"fleet.aggregator.buildLocked) and may block: invoke callbacks " +
+				"outside the critical section or declare the lock " +
+				"//lint:lockcoarse <reason>",
+		},
+	}
+	got, err := DiagnosticsJSON(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "diagnostics.golden.json")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("DiagnosticsJSON output drifted from %s — the -json schema is documented as stable.\ngot:\n%s\nwant:\n%s",
+			golden, got, want)
+	}
+}
+
+// TestDiagnosticsJSONEmptyIsArray guards the always-an-array contract:
+// a clean run must encode as [], never null, so consumers can index
+// the result unconditionally.
+func TestDiagnosticsJSONEmptyIsArray(t *testing.T) {
+	for _, diags := range [][]Diagnostic{nil, {}} {
+		got, err := DiagnosticsJSON(diags)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var decoded []JSONDiagnostic
+		if err := json.Unmarshal(got, &decoded); err != nil {
+			t.Fatalf("output does not round-trip: %v\n%s", err, got)
+		}
+		if string(bytes.TrimSpace(got)) != "[]" {
+			t.Errorf("empty diagnostics encoded as %q, want []", got)
+		}
+	}
+}
+
+// TestJSONDiagnosticFieldSet walks the encoded object and asserts the
+// exact documented key set, catching accidental tag edits that the
+// golden byte comparison would attribute to formatting.
+func TestJSONDiagnosticFieldSet(t *testing.T) {
+	d := Diagnostic{
+		Pos:      token.Position{Filename: "f.go", Line: 1, Column: 2},
+		Analyzer: "a",
+		Message:  "m",
+	}
+	data, err := json.Marshal(d.JSON())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]interface{}
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"file", "line", "column", "analyzer", "message"}
+	if len(m) != len(want) {
+		t.Fatalf("encoded object has %d keys %v, want exactly %v", len(m), m, want)
+	}
+	for _, k := range want {
+		if _, ok := m[k]; !ok {
+			t.Errorf("documented key %q missing from encoded object %v", k, m)
+		}
+	}
+}

@@ -156,6 +156,130 @@ func clean() int {
 	}
 }
 
+// TestSuppressionDoesNotReachTwoLinesDown: the directive covers its own
+// line and the one immediately below, never further — a blank line (or
+// any other line) between directive and violation breaks the link, the
+// violation survives, and the directive is flagged unused.
+func TestSuppressionDoesNotReachTwoLinesDown(t *testing.T) {
+	diags := runOn(t, supHeader+`
+func farApart() string {
+	//lint:ignore callflag reason: one line too far up
+
+	return flagged()
+}
+`)
+	var sawUnused, sawOriginal bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "suppress":
+			if strings.Contains(d.Message, "unused lint:ignore callflag") {
+				sawUnused = true
+			}
+		case "callflag":
+			sawOriginal = true
+		}
+	}
+	if !sawOriginal {
+		t.Error("a directive two lines up suppressed the violation; it must only cover the adjacent line")
+	}
+	if !sawUnused {
+		t.Error("the out-of-range directive was not reported unused")
+	}
+}
+
+// TestSuppressionLastLineOfCommentGroup: a directive works as the final
+// line of a multi-line comment block sitting directly on the code —
+// the usual shape when the suppression needs a paragraph of
+// justification above it.
+func TestSuppressionLastLineOfCommentGroup(t *testing.T) {
+	diags := runOn(t, supHeader+`
+func documented() string {
+	// The next call is sanctioned for this test; the full story
+	// takes more than one line to tell.
+	//lint:ignore callflag reason: documented at length above
+	return flagged()
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("got %d diagnostics, want 0: %v", len(diags), diags)
+	}
+}
+
+// TestSuppressionBuriedInCommentGroup: a directive in the middle of a
+// comment block is more than one line from the code, so it suppresses
+// nothing — adjacency is measured in lines, not comment groups.
+func TestSuppressionBuriedInCommentGroup(t *testing.T) {
+	diags := runOn(t, supHeader+`
+func buried() string {
+	//lint:ignore callflag reason: buried mid-comment, off target
+	// trailing prose pushes the directive out of range
+	return flagged()
+}
+`)
+	var sawUnused, sawOriginal bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "suppress":
+			sawUnused = sawUnused || strings.Contains(d.Message, "unused lint:ignore callflag")
+		case "callflag":
+			sawOriginal = true
+		}
+	}
+	if !sawOriginal {
+		t.Error("a directive buried mid-comment-group suppressed a violation two lines down")
+	}
+	if !sawUnused {
+		t.Error("the buried directive was not reported unused")
+	}
+}
+
+// TestBlockCommentDirectiveInert: only line comments carry directives;
+// /* lint:ignore */ is prose, not a suppression, and is not audited.
+func TestBlockCommentDirectiveInert(t *testing.T) {
+	diags := runOn(t, supHeader+`
+func blockForm() string {
+	/* lint:ignore callflag reason: wrong comment form */
+	return flagged()
+}
+`)
+	if len(diags) != 1 || diags[0].Analyzer != "callflag" {
+		t.Fatalf("got %v, want exactly the callflag diagnostic (block comments are inert)", diags)
+	}
+}
+
+// TestEmptyDirectiveReported: //lint:ignore with nothing after it names
+// no analyzer and is reported as malformed.
+func TestEmptyDirectiveReported(t *testing.T) {
+	diags := runOn(t, supHeader+`
+func empty() int {
+	//lint:ignore
+	return 42
+}
+`)
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "suppress" || !strings.Contains(d.Message, "needs an analyzer name and a reason") {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+}
+
+// TestPrecedingAndTrailingCombine: one line violating two analyzers can
+// be fully silenced by a preceding directive for one and a trailing
+// directive for the other; both count as used.
+func TestPrecedingAndTrailingCombine(t *testing.T) {
+	diags := runOn(t, supHeader+`
+func both2() (string, string) {
+	//lint:ignore callflag reason: preceding form for the call
+	return flagged(), "flagged" //lint:ignore litflag reason: trailing form for the literal
+}
+`)
+	if len(diags) != 0 {
+		t.Fatalf("got %d diagnostics, want 0: %v", len(diags), diags)
+	}
+}
+
 // TestReasonRequired: a bare directive without a reason is flagged but
 // still suppresses (so fixing the reason is a one-line edit, not a
 // two-failure cascade).

@@ -89,8 +89,24 @@ type tableInfo struct {
 
 // shard is one engine plus the mutex serializing subqueries onto it (a
 // progressdb.DB is single-threaded by contract).
+// A shard's engine invokes its progress callback mid-execution — i.e.
+// with shard.mu held — and the callback feeds the aggregator, so the
+// shard lock always sits above the aggregator's state and delivery
+// locks. The callback edge is a function value the analyzer cannot see
+// through, so the hierarchy is declared rather than inferred:
+//
+//lint:lockorder shard.mu < aggregator.mu
+//lint:lockorder shard.mu < aggregator.pubMu
+
 type shard struct {
 	id int
+	// mu serializes work onto the shard's embedded engine: one subquery
+	// (or partition load, or fault-spec install) at a time, exactly like
+	// a single-session database. The critical sections deliberately span
+	// engine execution and storage I/O — blocking under this lock IS the
+	// serialization.
+	//
+	//lint:lockcoarse a shard admits one subquery at a time; engine execution and storage I/O block under it by design
 	mu sync.Mutex
 	db *progressdb.DB
 }

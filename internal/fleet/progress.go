@@ -37,14 +37,29 @@ type Report struct {
 	Shards []ShardReport
 }
 
-// aggregator folds per-shard refreshes into global reports. All state is
-// guarded by mu; publishing happens under the lock so observers see a
-// totally ordered, monotone stream.
+// aggregator folds per-shard refreshes into global reports. All merge
+// state is guarded by mu; reports are built (and sequenced) under it,
+// then handed to the observer outside it. Publishing used to happen
+// under mu directly, which meant a slow observer — the server's paced
+// subscriber fan-out sleeps between refreshes — stalled every shard
+// goroutine trying to ingest an update; progresslint's lockdisc
+// analyzer flagged the callback-under-mutex and the split below is the
+// fix.
 type aggregator struct {
 	f          *Fleet
 	onProgress func(Report)
 
+	// pubMu serializes observer delivery, outside mu. pubSeq is the
+	// sequence number of the newest report delivered: a report overtaken
+	// while waiting for the observer is dropped, never delivered out of
+	// order.
+	//
+	//lint:lockcoarse delivery lock: the observer callback paces/blocks by design
+	pubMu  sync.Mutex
+	pubSeq uint64
+
 	mu         sync.Mutex
+	seq        uint64
 	latest     []progressdb.Report
 	seen       []bool
 	maxPercent float64
@@ -80,10 +95,19 @@ func newAggregator(f *Fleet, onProgress func(Report)) *aggregator {
 // the stored per-shard latest (and the breakdown on the wire) is always
 // in cumulative across-attempts terms.
 func (a *aggregator) shardUpdate(id int, r progressdb.Report) {
+	rep, seq, ok := a.ingestUpdate(id, r)
+	if ok {
+		a.deliver(rep, seq)
+	}
+}
+
+// ingestUpdate folds one refresh into the merge state and builds the
+// resulting global report, entirely under mu.
+func (a *aggregator) ingestUpdate(id int, r progressdb.Report) (Report, uint64, bool) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.finished {
-		return // terminal report already published; late stragglers are dropped
+		return Report{}, 0, false // terminal report already built; late stragglers are dropped
 	}
 	r.DoneU += a.baseDone[id]
 	r.EstimatedCostU += a.baseEst[id]
@@ -93,7 +117,8 @@ func (a *aggregator) shardUpdate(id int, r progressdb.Report) {
 	a.seen[id] = true
 	a.f.met.shardPercent[id].Set(r.Percent)
 	a.f.met.shardDone[id].Set(r.DoneU)
-	a.publishLocked(false)
+	rep, seq := a.buildLocked(false)
+	return rep, seq, true
 }
 
 // shardRetry folds a failed attempt's cumulative progress into the
@@ -139,16 +164,47 @@ func (a *aggregator) doneBase(id int) float64 {
 // path calls it: like the single engine, a failed or canceled query ends
 // without a Finished refresh and the error is the terminal signal.
 func (a *aggregator) finish() {
+	rep, seq, ok := a.ingestFinish()
+	if ok {
+		a.deliver(rep, seq)
+	}
+}
+
+func (a *aggregator) ingestFinish() (Report, uint64, bool) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.finished {
-		return
+		return Report{}, 0, false
 	}
 	a.finished = true
-	a.publishLocked(true)
+	rep, seq := a.buildLocked(true)
+	return rep, seq, true
 }
 
-func (a *aggregator) publishLocked(final bool) {
+// deliver hands one built report to the observer. Delivery runs outside
+// mu so a paced or otherwise slow observer never stalls shard
+// goroutines; pubMu keeps observers single-file, and the sequence check
+// drops a report that a newer one overtook while it waited. finished is
+// set before the terminal report is sequenced, so that report carries
+// the run's highest seq: it is never dropped and still arrives exactly
+// once.
+func (a *aggregator) deliver(rep Report, seq uint64) {
+	if a.onProgress == nil {
+		return
+	}
+	a.pubMu.Lock()
+	defer a.pubMu.Unlock()
+	if seq <= a.pubSeq {
+		return
+	}
+	a.pubSeq = seq
+	a.onProgress(rep)
+}
+
+// buildLocked merges the per-shard latest reports into the next global
+// report, records it in the history, and assigns it the next sequence
+// number. Callers hold mu.
+func (a *aggregator) buildLocked(final bool) (Report, uint64) {
 	g := progressdb.Report{CurrentSegment: -1, RemainingSeconds: math.NaN()}
 	for i := range a.latest {
 		if !a.seen[i] {
@@ -192,7 +248,6 @@ func (a *aggregator) publishLocked(final bool) {
 	}
 	a.history = append(a.history, rep)
 	a.f.met.events.Inc()
-	if a.onProgress != nil {
-		a.onProgress(rep)
-	}
+	a.seq++
+	return rep, a.seq
 }

@@ -19,6 +19,10 @@ import (
 // push to each subscriber's private buffer — so a subscriber that
 // replays history at subscribe time and then drains its buffer sees
 // every event exactly once, in order, with exactly one terminal event.
+// The push into a subscriber's buffer nests its lock inside the job's;
+// progresslint enforces that the order never inverts:
+//
+//lint:lockorder job.mu < subscriber.mu
 type job struct {
 	id       string
 	name     string
