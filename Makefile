@@ -1,6 +1,6 @@
 # Developer entry points; `make check` is what CI runs.
 
-.PHONY: check test build vet fmt lint lint-report fuzz bench-obs bench-fleet bench-snapshot chaos dash
+.PHONY: check test build vet fmt lint lint-report fuzz bench-obs bench-fleet bench-mt bench-snapshot chaos dash
 
 check:
 	./ci.sh
@@ -54,6 +54,11 @@ bench-obs:
 bench-fleet:
 	go test ./internal/fleet -run XXX -bench 'BenchmarkFleet' -benchtime 10x -benchmem
 
+# Multi-worker throughput on one shared engine: wall-clock queries/s at
+# workers = 1, 2, 4 over the mixed chaos workload.
+bench-mt:
+	go test . -run XXX -bench 'BenchmarkConcurrentThroughput' -benchtime 10x -benchmem
+
 # Refresh the committed baselines. Review the BENCH_*.json diffs like
 # code: a regression here is a hot-path or cost-model change.
 bench-snapshot:
@@ -61,6 +66,8 @@ bench-snapshot:
 		| go run ./cmd/benchsnap > BENCH_obs.json
 	go test ./internal/fleet -run XXX -bench 'BenchmarkFleet' -benchtime 10x -benchmem \
 		| go run ./cmd/benchsnap > BENCH_fleet.json
+	go test . -run XXX -bench 'BenchmarkConcurrentThroughput' -benchtime 10x -benchmem \
+		| go run ./cmd/benchsnap > BENCH_mt.json
 
 # Run the daemon with the embedded dashboard on the default port.
 dash:

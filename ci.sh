@@ -42,7 +42,8 @@ echo "== progresslint =="
 # load. The same run emits the sharedstate inventory (the multi-core
 # worklist, ROADMAP item 1); it must parse and enumerate the audited
 # scope.
-"$bindir"/progresslint -sharedstate "$bindir"/concurrency.json ./...
+"$bindir"/progresslint -sharedstate "$bindir"/concurrency.json \
+	-assert-guarded "storage.Disk,storage.poolShard,catalog.Catalog,vclock.Group" ./...
 grep -q '"package_vars"' "$bindir"/concurrency.json
 grep -q '"structs"' "$bindir"/concurrency.json
 
@@ -68,6 +69,13 @@ echo "== progressd smoke =="
 # with 503 "draining"; and the server_shed_total / server_drains_total
 # metrics to match.
 "$bindir"/progressd -smoke
+
+echo "== progressd concurrent smoke =="
+# The multi-core lift end to end: 6 paced queries on a 4-worker server
+# over one shared engine; at least 2 must be observed simultaneously
+# "running", every SSE stream monotone with exactly one terminal event,
+# every result correct, and the engine leak-free after the storm.
+"$bindir"/progressd -workers 4 -smoke
 
 echo "== progressd fleet smoke =="
 # Same daemon stack fronting a 4-shard fleet: paced scan with per-shard

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	progressd [-addr 127.0.0.1:8080] [-scale 0.02] [-workers 1] [-queue 8]
-//	progressd -smoke        # self-test: submit, stream, cancel, exit
+//	progressd -smoke             # self-test: submit, stream, cancel, exit
+//	progressd -workers 4 -smoke  # concurrency self-test: parallel queries on one engine
 //
 // Then, e.g.:
 //
@@ -40,7 +41,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	shards := flag.Int("shards", 1, "engine shards; >1 serves a hash-partitioned fleet with aggregated progress")
 	scale := flag.Float64("scale", 0.02, "paper workload scale loaded at startup")
-	workers := flag.Int("workers", 1, "admission workers")
+	workers := flag.Int("workers", 1, "queries executed in parallel on the shared engine")
 	queue := flag.Int("queue", 8, "admission queue depth (full queue → 429)")
 	workMem := flag.Int("workmem", 16, "work_mem in 8KiB pages")
 	update := flag.Float64("update", 10, "progress refresh period in virtual seconds")
@@ -67,9 +68,12 @@ func main() {
 
 	if *smoke {
 		var err error
-		if *shards > 1 {
+		switch {
+		case *shards > 1:
 			err = runFleetSmoke(*shards)
-		} else {
+		case *workers > 1:
+			err = runConcurrentSmoke(*workers)
+		default:
 			err = runSmoke()
 		}
 		if err != nil {
@@ -297,6 +301,138 @@ func runSmoke() error {
 	srv.Close()
 
 	return smokeResilience(ctx)
+}
+
+// runConcurrentSmoke proves the -workers N lift end to end on one
+// shared engine: submit more paced queries than workers, observe at
+// least two simultaneously in state "running", then require every SSE
+// stream to be monotone with exactly one terminal event, every query to
+// finish "done" with the right answer, and the engine to pass its leak
+// checks after the storm.
+func runConcurrentSmoke(workers int) error {
+	db := progressdb.Open(progressdb.Config{
+		ProgressUpdateSeconds: 0.25,
+		SpeedWindowSeconds:    1,
+		SeqPageCost:           0.05, // stretch virtual time → many refreshes
+		BufferPoolPages:       64,   // keep the scans I/O-bound
+		Metrics:               true,
+	})
+	db.MustCreateTable("t", progressdb.Col("k", progressdb.Int), progressdb.Col("pad", progressdb.Text))
+	pad := strings.Repeat("x", 100)
+	const rows = 20000
+	for i := 0; i < rows; i++ {
+		db.MustInsert("t", int64(i), pad)
+	}
+	if err := db.Analyze(); err != nil {
+		return err
+	}
+	if err := db.ColdRestart(); err != nil {
+		return err
+	}
+
+	srv := server.New(db, server.Config{
+		Workers:        workers,
+		QueueDepth:     2*workers + 4,
+		SampleInterval: -1,
+	})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	cl := client.New("http://" + ln.Addr().String())
+
+	// More queries than workers: the surplus must queue, so the admitted
+	// ones overlap while the rest wait their turn.
+	n := workers + 2
+	subs := make([]client.SubmitResponse, n)
+	for i := range subs {
+		subs[i], err = cl.Submit(ctx, client.SubmitRequest{
+			SQL:  "select count(*) from t",
+			Name: fmt.Sprintf("conc-%d", i), PaceMS: 30, KeepRows: true,
+		})
+		if err != nil {
+			return fmt.Errorf("submit %d: %w", i, err)
+		}
+	}
+	fmt.Printf("progressd smoke: %d queries submitted to %d workers\n", n, workers)
+
+	// Observe genuine overlap: poll the listing until at least two
+	// queries are running at the same instant.
+	maxRunning := 0
+	for deadline := time.Now().Add(20 * time.Second); maxRunning < 2; {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("never observed 2 simultaneous running queries (max %d)", maxRunning)
+		}
+		infos, err := cl.List(ctx)
+		if err != nil {
+			return fmt.Errorf("list: %w", err)
+		}
+		running := 0
+		for _, info := range infos {
+			if info.State == client.StateRunning {
+				running++
+			}
+		}
+		if running > maxRunning {
+			maxRunning = running
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Printf("progressd smoke: observed %d queries running simultaneously\n", maxRunning)
+
+	// Every stream (replay included) must be monotone and terminate
+	// exactly once, in state done, with the correct count.
+	for _, sub := range subs {
+		lastPct, terminals := -1.0, 0
+		var last client.ProgressEvent
+		err := cl.Stream(ctx, sub.ID, func(ev client.ProgressEvent) error {
+			if ev.Percent < lastPct {
+				return fmt.Errorf("progress regressed: %.2f%% after %.2f%%", ev.Percent, lastPct)
+			}
+			lastPct = ev.Percent
+			if ev.Terminal() {
+				terminals++
+			}
+			last = ev
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("stream %s: %w", sub.ID, err)
+		}
+		if terminals != 1 || !last.Terminal() {
+			return fmt.Errorf("%s: %d terminal events, want exactly 1 (last)", sub.ID, terminals)
+		}
+		if last.State != client.StateDone {
+			return fmt.Errorf("%s: terminal state = %s, want done", sub.ID, last.State)
+		}
+		res, err := cl.Result(ctx, sub.ID)
+		if err != nil {
+			return fmt.Errorf("result %s: %w", sub.ID, err)
+		}
+		if len(res.Rows) != 1 || fmt.Sprint(res.Rows[0][0]) != fmt.Sprint(rows) {
+			return fmt.Errorf("%s: count(*) = %v, want %d", sub.ID, res.Rows, rows)
+		}
+	}
+	fmt.Printf("progressd smoke: all %d streams monotone, exactly-once-terminal, correct\n", n)
+
+	shCtx, shCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shCancel()
+	if err := hs.Shutdown(shCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	srv.Close()
+	if err := db.CheckLeaks(); err != nil {
+		return fmt.Errorf("after storm: %w", err)
+	}
+	fmt.Println("progressd smoke: engine leak checks clean")
+	return nil
 }
 
 // smokeResilience exercises the admission-control and drain surface on a

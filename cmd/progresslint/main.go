@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	progresslint [-json] [-list] [-sharedstate file] [packages...]
+//	progresslint [-json] [-list] [-sharedstate file] [-assert-guarded list] [packages...]
 //
 // With no package patterns it checks ./... from the current module.
 // Violations are printed one per line as file:line:col: [analyzer]
@@ -16,6 +16,10 @@
 // mutable struct in the engine-core packages, with its guard situation
 // — as JSON to the given file ("-" for stdout): the machine-readable
 // worklist for the multi-core engine (ROADMAP item 1).
+// -assert-guarded takes a comma-separated list of pkg.Type entries
+// (e.g. storage.Disk,catalog.Catalog) and fails the run if any listed
+// struct is absent from the inventory or still unguarded — CI's proof
+// that the multi-core refactor's newly latched structs stay latched.
 //
 // Suppress a finding with //lint:ignore <analyzer> <reason> on the
 // offending line or the line above; the suppression inventory is
@@ -41,9 +45,11 @@ func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	sharedstateOut := flag.String("sharedstate", "",
 		`write the sharedstate concurrency-readiness report (JSON) to this file ("-" for stdout)`)
+	assertGuarded := flag.String("assert-guarded", "",
+		"comma-separated pkg.Type list that must appear guarded in the sharedstate inventory (e.g. storage.Disk,catalog.Catalog)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: progresslint [-json] [-list] [-sharedstate file] [packages...]\n\n"+
+			"usage: progresslint [-json] [-list] [-sharedstate file] [-assert-guarded list] [packages...]\n\n"+
 				"Checks the module's engine invariants (DESIGN.md §7).\n\n")
 		flag.PrintDefaults()
 	}
@@ -73,6 +79,12 @@ func main() {
 	if *sharedstateOut != "" {
 		if err := writeSharedstate(state, *sharedstateOut, root); err != nil {
 			fatal(err)
+		}
+	}
+	if *assertGuarded != "" {
+		if err := checkGuarded(state, *assertGuarded); err != nil {
+			fmt.Fprintln(os.Stderr, "progresslint:", err)
+			os.Exit(1)
 		}
 	}
 
@@ -128,6 +140,47 @@ func writeSharedstate(state *analysis.State, path, root string) error {
 		return err
 	}
 	return os.WriteFile(path, data, 0o644)
+}
+
+// checkGuarded enforces -assert-guarded: every listed pkg.Type (package
+// matched by its last path element) must be present in the sharedstate
+// inventory with at least one mutex guard and not flagged unguarded.
+func checkGuarded(state *analysis.State, list string) error {
+	rep, ok := checks.SharedStateReport(state)
+	if !ok {
+		return fmt.Errorf("-assert-guarded needs the sharedstate analyzer's inventory: " +
+			"include the engine-core packages in the run")
+	}
+	var bad []string
+	for _, entry := range strings.Split(list, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		dot := strings.LastIndex(entry, ".")
+		if dot < 1 || dot == len(entry)-1 {
+			return fmt.Errorf("-assert-guarded entry %q: want pkg.Type", entry)
+		}
+		pkg, typ := entry[:dot], entry[dot+1:]
+		found := false
+		for _, s := range rep.Structs {
+			if s.Type != typ || (s.Package != pkg && !strings.HasSuffix(s.Package, "/"+pkg)) {
+				continue
+			}
+			found = true
+			if s.Unguarded || len(s.Guards) == 0 {
+				bad = append(bad, fmt.Sprintf("%s is unguarded (%s)", entry, s.Pos))
+			}
+			break
+		}
+		if !found {
+			bad = append(bad, fmt.Sprintf("%s not found in the sharedstate inventory", entry))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("assert-guarded failed:\n  %s", strings.Join(bad, "\n  "))
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -88,6 +88,9 @@ func (db *DB) CheckLeaks() error {
 		return fmt.Errorf("progressdb: buffer pool holds %d page(s) of removed files: %v",
 			len(orphans), orphans)
 	}
+	if pins := pool.PinnedFrames(); pins != 0 {
+		return fmt.Errorf("progressdb: buffer pool holds %d leaked frame pin(s)", pins)
+	}
 	return nil
 }
 

@@ -10,6 +10,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"progressdb/internal/exec"
@@ -238,6 +240,102 @@ func TestChaosRandomFaultSchedules(t *testing.T) {
 		t.Fatalf("post-chaos leak check: %v", err)
 	}
 	t.Logf("chaos: %d/%d schedules induced a query failure; engine stayed correct and leak-free", faulted, schedules)
+}
+
+// TestChaosConcurrentWorkers is the storm variant of the chaos suite:
+// each random schedule is exercised by several goroutines at once on
+// the shared engine, so injected faults land while neighbors hold
+// latches, pins, and temp files. Per query the invariants are the same
+// — error-or-correct, typed failures only — and after every schedule
+// the engine must be leak-free and reusable. The worker count scales
+// with PROGRESSDB_CHAOS_WORKERS (the Makefile chaos target raises it).
+func TestChaosConcurrentWorkers(t *testing.T) {
+	workers := 4
+	if s := os.Getenv("PROGRESSDB_CHAOS_WORKERS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 2 {
+			t.Fatalf("PROGRESSDB_CHAOS_WORKERS=%q: %v", s, err)
+		}
+		workers = n
+	}
+	const schedules = 8
+	db := chaosDB(t)
+	want := baselines(t, db)
+
+	rng := rand.New(rand.NewSource(20260809))
+	faulted := 0
+	for i := 0; i < schedules; i++ {
+		cfg := randomSchedule(rng)
+		spec := cfg.String()
+		if err := db.SetFaultSpec(spec); err != nil {
+			t.Fatalf("schedule %d %q: SetFaultSpec: %v", i, spec, err)
+		}
+
+		var wg sync.WaitGroup
+		errc := make(chan error, workers)
+		var failures atomic.Int64
+		for w := 0; w < workers; w++ {
+			qi := rng.Intn(len(chaosQueries))
+			wg.Add(1)
+			go func(w, qi int) {
+				defer wg.Done()
+				tag := fmt.Sprintf("schedule %d %q worker %d query %d", i, spec, w, qi)
+				lastDone := -1.0
+				res, err := db.Exec(chaosQueries[qi], func(r Report) {
+					if r.DoneU < lastDone-1e-9 {
+						errc <- fmt.Errorf("%s: DoneU regressed %g -> %g", tag, lastDone, r.DoneU)
+					}
+					lastDone = r.DoneU
+				})
+				if err != nil {
+					failures.Add(1)
+					var ioFault *storage.IOFault
+					var internal *exec.InternalError
+					if !errors.As(err, &ioFault) && !errors.As(err, &internal) {
+						errc <- fmt.Errorf("%s: untyped failure: %T %v", tag, err, err)
+					}
+					return
+				}
+				if got := fingerprint(res); got != want[qi] {
+					errc <- fmt.Errorf("%s: WRONG RESULT %x, want %x", tag, got, want[qi])
+				}
+			}(w, qi)
+		}
+		wg.Wait()
+		close(errc)
+		for err := range errc {
+			t.Error(err)
+		}
+		if failures.Load() > 0 {
+			faulted++
+		}
+		if serr := db.SetFaultSpec(""); serr != nil {
+			t.Fatalf("schedule %d: clearing fault spec: %v", i, serr)
+		}
+		if err := db.CheckLeaks(); err != nil {
+			t.Fatalf("schedule %d %q: %v", i, spec, err)
+		}
+	}
+	if faulted == 0 {
+		t.Fatalf("no schedule out of %d caused a failure under %d workers; the suite is not exercising error paths", schedules, workers)
+	}
+
+	// Reusable after the concurrent storms: every query answers
+	// correctly, serially, with no injector installed.
+	for qi, sql := range chaosQueries {
+		res, err := db.Exec(sql, nil)
+		if err != nil {
+			t.Fatalf("post-chaos rerun %q: %v", sql, err)
+		}
+		if got := fingerprint(res); got != want[qi] {
+			t.Fatalf("post-chaos rerun %q: fingerprint %x, want %x", sql, got, want[qi])
+		}
+	}
+	if err := db.CheckLeaks(); err != nil {
+		t.Fatalf("post-chaos leak check: %v", err)
+	}
+	t.Logf("chaos: %d/%d schedules induced failures under %d concurrent workers; engine stayed correct and leak-free",
+		faulted, schedules, workers)
 }
 
 // TestFaultMatrixSmoke is the CI fast path: 3 seeds × {read-fault,

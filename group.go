@@ -180,6 +180,9 @@ func (db *DB) ExecGroup(queries []GroupQuery) ([]*Result, error) {
 	for range workers {
 		<-done
 	}
+	// The group ran on the engine's base clock; publish its end time into
+	// the clock group so later queries start after it.
+	db.clock.Sync()
 	results := make([]*Result, len(workers))
 	var ge *GroupError
 	for i, w := range workers {
@@ -211,6 +214,7 @@ func (db *DB) execOne(q GroupQuery, yield func()) (res *Result, err error) {
 			res, err = nil, exec.NewInternalError(r, debug.Stack())
 		}
 		if err != nil && env != nil {
+			env.ReleaseScans()
 			env.ReclaimTemps()
 		}
 	}()

@@ -179,7 +179,9 @@ func checkTempProvenance(pass *analysis.Pass, fn *ast.FuncDecl) {
 		if !ok {
 			return true
 		}
-		if sel.Sel.Name != "CreateTempHeapFile" && sel.Sel.Name != "CreateHeapFile" {
+		switch sel.Sel.Name {
+		case "CreateTempHeapFile", "CreateTempHeapFileOn", "CreateHeapFile":
+		default:
 			return true
 		}
 		ident, ok := sel.X.(*ast.Ident)

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"progressdb/internal/storage"
+	"progressdb/internal/vclock"
 )
 
 // Page layout.
@@ -204,16 +205,21 @@ func (t *Tree) writeMeta() error {
 	return t.pool.Put(storage.PageID{File: t.file, Num: metaPage}, meta)
 }
 
-func (t *Tree) getPage(num int32) ([]byte, error) {
-	return t.pool.Get(storage.PageID{File: t.file, Num: num})
+// getPage reads a tree page through the pool, charging clk (nil means
+// the disk's base clock — the single-threaded DDL/load/txn paths).
+func (t *Tree) getPage(clk *vclock.Clock, num int32) ([]byte, error) {
+	if clk == nil {
+		clk = t.pool.Disk().Clock()
+	}
+	return t.pool.GetOn(clk, storage.PageID{File: t.file, Num: num})
 }
 
 // descend walks from the root to the leaf that may contain key, recording
 // the path (for insert splits).
-func (t *Tree) descend(key int64) (leaf int32, path []int32, err error) {
+func (t *Tree) descend(clk *vclock.Clock, key int64) (leaf int32, path []int32, err error) {
 	cur := t.root
 	for {
-		page, err := t.getPage(cur)
+		page, err := t.getPage(clk, cur)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -257,21 +263,30 @@ func (t *Tree) Search(key int64) ([]storage.RID, error) {
 	return out, nil
 }
 
-// Iterator walks leaf entries in key order.
+// Iterator walks leaf entries in key order, charging the clock it was
+// opened with (nil = the disk's base clock).
 type Iterator struct {
 	t    *Tree
+	clk  *vclock.Clock
 	page int32
 	idx  int
 }
 
-// Seek returns an iterator positioned at the first entry with key >= key.
+// SeekGE returns an iterator positioned at the first entry with
+// key >= key, charging the disk's base clock.
 func (t *Tree) SeekGE(key int64) (*Iterator, error) {
-	leaf, _, err := t.descend(key)
+	return t.SeekGEOn(nil, key)
+}
+
+// SeekGEOn is SeekGE charging the given worker clock (per-query index
+// scans).
+func (t *Tree) SeekGEOn(clk *vclock.Clock, key int64) (*Iterator, error) {
+	leaf, _, err := t.descend(clk, key)
 	if err != nil {
 		return nil, err
 	}
-	it := &Iterator{t: t, page: leaf}
-	page, err := t.getPage(leaf)
+	it := &Iterator{t: t, clk: clk, page: leaf}
+	page, err := t.getPage(clk, leaf)
 	if err != nil {
 		return nil, err
 	}
@@ -283,17 +298,23 @@ func (t *Tree) SeekGE(key int64) (*Iterator, error) {
 	return it, nil
 }
 
-// First returns an iterator over all entries.
+// First returns an iterator over all entries, charging the disk's base
+// clock.
 func (t *Tree) First() (*Iterator, error) {
+	return t.FirstOn(nil)
+}
+
+// FirstOn is First charging the given worker clock.
+func (t *Tree) FirstOn(clk *vclock.Clock) (*Iterator, error) {
 	// Descend along the leftmost spine.
 	cur := t.root
 	for {
-		page, err := t.getPage(cur)
+		page, err := t.getPage(clk, cur)
 		if err != nil {
 			return nil, err
 		}
 		if page[0] == leafKind {
-			return &Iterator{t: t, page: cur}, nil
+			return &Iterator{t: t, clk: clk, page: cur}, nil
 		}
 		cur = getInt32(page[3:])
 	}
@@ -305,7 +326,7 @@ func (it *Iterator) Next() (Entry, bool, error) {
 		if it.page < 0 {
 			return Entry{}, false, nil
 		}
-		page, err := it.t.getPage(it.page)
+		page, err := it.t.getPage(it.clk, it.page)
 		if err != nil {
 			return Entry{}, false, err
 		}
@@ -322,11 +343,11 @@ func (it *Iterator) Next() (Entry, bool, error) {
 
 // Insert adds an entry, splitting pages as needed.
 func (t *Tree) Insert(key int64, rid storage.RID) error {
-	leafNum, path, err := t.descend(key)
+	leafNum, path, err := t.descend(nil, key)
 	if err != nil {
 		return err
 	}
-	page, err := t.getPage(leafNum)
+	page, err := t.getPage(nil, leafNum)
 	if err != nil {
 		return err
 	}
@@ -389,7 +410,7 @@ func (t *Tree) insertIntoParent(path []int32, sepKey int64, rightChild int32) er
 		return t.writeMeta()
 	}
 	parentNum := path[len(path)-1]
-	page, err := t.getPage(parentNum)
+	page, err := t.getPage(nil, parentNum)
 	if err != nil {
 		return err
 	}

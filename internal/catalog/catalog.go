@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"progressdb/internal/btree"
 	"progressdb/internal/stats"
@@ -42,9 +43,16 @@ func (t *Table) IndexOn(column string) *Index {
 	return nil
 }
 
-// Catalog is the set of known tables.
+// Catalog is the set of known tables. Lookups (Table, Tables) are safe
+// to call concurrently with each other and with running queries; DDL
+// (CreateTable, DropTable, CreateIndex, Analyze) takes the write lock
+// for the name-table mutation but must not run concurrently with
+// queries that use the affected table — the engine runs DDL only while
+// idle, matching the paper's load-then-query methodology.
 type Catalog struct {
-	pool   *storage.BufferPool
+	pool *storage.BufferPool
+
+	mu     sync.RWMutex // guards tables
 	tables map[string]*Table
 }
 
@@ -59,13 +67,19 @@ func (c *Catalog) Pool() *storage.BufferPool { return c.pool }
 // CreateTable registers a new empty table.
 func (c *Catalog) CreateTable(name string, schema *tuple.Schema) (*Table, error) {
 	key := strings.ToLower(name)
+	// Create the heap outside the catalog lock: the name map is the only
+	// state the lock guards, and holding it across pool I/O would order
+	// Catalog.mu above the shard latches for no benefit.
+	heap := storage.CreateHeapFile(c.pool)
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, exists := c.tables[key]; exists {
 		return nil, fmt.Errorf("catalog: table %q already exists", name)
 	}
 	t := &Table{
 		Name:   key,
 		Schema: schema,
-		Heap:   storage.CreateHeapFile(c.pool),
+		Heap:   heap,
 	}
 	c.tables[key] = t
 	return t, nil
@@ -74,7 +88,12 @@ func (c *Catalog) CreateTable(name string, schema *tuple.Schema) (*Table, error)
 // DropTable removes a table and its heap file and index files.
 func (c *Catalog) DropTable(name string) error {
 	key := strings.ToLower(name)
+	c.mu.Lock()
 	t, ok := c.tables[key]
+	if ok {
+		delete(c.tables, key)
+	}
+	c.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("catalog: no table %q", name)
 	}
@@ -84,16 +103,14 @@ func (c *Catalog) DropTable(name string) error {
 			return err
 		}
 	}
-	if err := t.Heap.Drop(); err != nil {
-		return err
-	}
-	delete(c.tables, key)
-	return nil
+	return t.Heap.Drop()
 }
 
 // Table returns the named table.
 func (c *Catalog) Table(name string) (*Table, error) {
+	c.mu.RLock()
 	t, ok := c.tables[strings.ToLower(name)]
+	c.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("catalog: no table %q", name)
 	}
@@ -102,10 +119,12 @@ func (c *Catalog) Table(name string) (*Table, error) {
 
 // Tables returns all tables sorted by name.
 func (c *Catalog) Tables() []*Table {
+	c.mu.RLock()
 	out := make([]*Table, 0, len(c.tables))
 	for _, t := range c.tables {
 		out = append(out, t)
 	}
+	c.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
@@ -172,8 +191,10 @@ func (c *Catalog) CreateIndex(t *Table, column string) (*Index, error) {
 		entries = append(entries, btree.Entry{Key: row[colIdx].I, RID: rid})
 	}
 	if err := sc.Err(); err != nil {
+		sc.Close()
 		return nil, err
 	}
+	sc.Close()
 	sort.SliceStable(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
 	tree, err := btree.BulkLoad(c.pool, entries)
 	if err != nil {

@@ -349,8 +349,13 @@ func (ind *Indicator) Extra(seg int, bytes float64) {
 	ind.addWork(bytes)
 }
 
-// SegmentDone implements segment.WorkReporter.
+// SegmentDone implements segment.WorkReporter. Segment boundaries are
+// the vclock multi-worker sync points: the per-query worker clock
+// publishes into the shared clock group here, so the engine-wide
+// timeline max-merges at exactly the paper's pipeline-segment
+// granularity.
 func (ind *Indicator) SegmentDone(seg int) {
+	ind.clock.Sync()
 	ss := ind.segs[seg]
 	ss.done = true
 	ss.endT = ind.clock.Now()
@@ -635,6 +640,10 @@ func (ind *Indicator) onUpdate(float64) {
 }
 
 func (ind *Indicator) takeSnapshot() {
+	// Publishing a report is a sync point for the shared clock group
+	// (no-op on a groupless clock): Report always reflects this worker's
+	// latest progress in the merged timeline.
+	ind.clock.Sync()
 	snap := ind.buildSnapshot()
 	ind.snapshots = append(ind.snapshots, snap)
 	ind.observe(snap)

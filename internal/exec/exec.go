@@ -63,15 +63,41 @@ type Env struct {
 	// ReclaimTemps can guarantee cleanup even when an error or panic
 	// bypasses the iterator Close chain.
 	temps []storage.FileID
+
+	// scans tracks the pinning base-table scanners opened by this
+	// query's scan operators so ReleaseScans can drop their buffer-pool
+	// pins even when an error or panic bypasses the Close chain.
+	scans []*storage.Scanner
 }
 
-// newTempFile allocates a per-query scratch heap file and registers it
-// for end-of-query reclamation. All operators must create their spill
-// files through this helper, never storage.CreateHeapFile directly.
+// newTempFile allocates a per-query scratch heap file, bound to this
+// query's clock, and registers it for end-of-query reclamation. All
+// operators must create their spill files through this helper, never
+// storage.CreateHeapFile directly.
 func (e *Env) newTempFile() *storage.HeapFile {
-	f := storage.CreateTempHeapFile(e.Pool)
+	f := storage.CreateTempHeapFileOn(e.Pool, e.Clock)
 	e.temps = append(e.temps, f.ID())
 	return f
+}
+
+// newBaseScanner opens a pinning scanner over a base-table heap on this
+// query's clock and registers it for end-of-query pin release.
+func (e *Env) newBaseScanner(hf *storage.HeapFile) *storage.Scanner {
+	sc := hf.NewScannerOn(e.Clock)
+	e.scans = append(e.scans, sc)
+	return sc
+}
+
+// ReleaseScans closes every tracked base-table scanner, releasing any
+// buffer-pool pins still held. On clean execution the operators' Close
+// chain has already done this (Close is idempotent); after an error or
+// recovered panic this is the guarantee that the query pins nothing.
+// Safe to call multiple times.
+func (e *Env) ReleaseScans() {
+	for _, sc := range e.scans {
+		sc.Close()
+	}
+	e.scans = nil
 }
 
 // ReclaimTemps force-drops any tracked temp files still allocated,

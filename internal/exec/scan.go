@@ -20,7 +20,7 @@ type seqScan struct {
 }
 
 func (s *seqScan) Open() error {
-	s.sc = s.node.Table.Heap.NewScanner()
+	s.sc = s.env.newBaseScanner(s.node.Table.Heap)
 	s.done = false
 	return nil
 }
@@ -49,7 +49,12 @@ func (s *seqScan) Next() (tuple.Tuple, bool, error) {
 	return row, true, nil
 }
 
-func (s *seqScan) Close() error { return nil }
+func (s *seqScan) Close() error {
+	if s.sc != nil {
+		s.sc.Close()
+	}
+	return nil
+}
 
 // indexScan walks a B+-tree range and fetches matching heap tuples. Tree
 // and heap page I/O are charged through the buffer pool; heap fetches are
@@ -74,7 +79,7 @@ func (s *indexScan) Open() error {
 	if s.node.Lo != nil {
 		lo = *s.node.Lo
 	}
-	it, err := s.node.Index.Tree.SeekGE(lo)
+	it, err := s.node.Index.Tree.SeekGEOn(s.env.Clock, lo)
 	if err != nil {
 		return err
 	}
@@ -97,7 +102,7 @@ func (s *indexScan) Next() (tuple.Tuple, bool, error) {
 			s.finish()
 			return nil, false, nil
 		}
-		rec, err := s.node.Table.Heap.Fetch(e.RID)
+		rec, err := s.node.Table.Heap.FetchOn(s.env.Clock, e.RID)
 		if err != nil {
 			return nil, false, err
 		}

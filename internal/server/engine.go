@@ -32,10 +32,11 @@ type Engine interface {
 	// engine metrics are disabled (the server then keeps a private one).
 	Registry() *obs.Registry
 	// Metrics snapshots the engine-side instruments (empty when
-	// disabled). Called only while the engine is idle.
+	// disabled). Safe to call while queries run: instruments are
+	// atomic and clock gauges read the engine's shared clock group.
 	Metrics() []obs.Sample
 	// MetricsText renders the engine-side Prometheus page (empty when
-	// disabled). Called only while the engine is idle.
+	// disabled). Safe to call while queries run.
 	MetricsText() string
 	// Shards returns the engine's shard count: 1 for a single DB, N for
 	// a fleet.

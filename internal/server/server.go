@@ -16,11 +16,13 @@
 //	GET    /healthz               liveness, queue summary, remaining-work budget, per-shard breaker health
 //	POST   /admin/drain           graceful drain: stop admission, wait for in-flight work, then cancel stragglers
 //
-// Concurrency model: the engine's virtual clock makes the engine itself
-// single-threaded, so query executions are serialized on an engine
-// semaphore; the worker pool and admission queue bound how much work
-// may be queued or in flight (admission control), and everything else —
-// snapshots, SSE fan-out, cancellation, /metrics — is fully concurrent.
+// Concurrency model: the engine executes queries concurrently — each
+// query runs on its own worker clock that merges into the engine's
+// shared time authority — so up to Config.Workers executions proceed
+// in parallel, bounded by an engine semaphore sized to the worker
+// pool; the admission queue bounds how much more may be queued
+// (admission control), and everything else — snapshots, SSE fan-out,
+// cancellation, /metrics — is fully concurrent.
 package server
 
 import (
@@ -49,9 +51,11 @@ import (
 
 // Config configures a Server.
 type Config struct {
-	// Workers is the number of admission workers (queries that may be
-	// dequeued and held runnable at once). Executions themselves are
-	// serialized on the engine. Default 1.
+	// Workers is the number of queries that may execute on the engine
+	// simultaneously: it sizes both the admission worker pool and the
+	// engine semaphore, so -workers N means N truly parallel
+	// executions on the shared DB. Default 1 (serial, fully
+	// deterministic ordering).
 	Workers int
 	// QueueDepth bounds the admission queue; a submit that finds it
 	// full is rejected with 429. Default 8.
@@ -209,7 +213,7 @@ type Server struct {
 	lastSample atomic.Uint64
 
 	queue  chan *job
-	engine chan struct{} // capacity-1 semaphore: the engine is single-threaded
+	engine chan struct{} // capacity-Workers semaphore bounding parallel executions
 	quit   chan struct{}
 	wg     sync.WaitGroup
 	once   sync.Once
@@ -248,7 +252,7 @@ func NewEngine(eng Engine, cfg Config) *Server {
 		ts:     tsdb.New(cfg.TimeseriesPoints),
 		hist:   history.New(cfg.HistoryDepth),
 		queue:  make(chan *job, cfg.QueueDepth),
-		engine: make(chan struct{}, 1),
+		engine: make(chan struct{}, cfg.Workers),
 		quit:   make(chan struct{}),
 		adm:    newAdmission(cfg.MaxInflightU),
 		mux:    http.NewServeMux(),
@@ -382,9 +386,11 @@ func (s *Server) runJob(j *job) {
 		}
 	}
 
-	// Counter baseline for the history profile: the engine is held for
-	// the whole execution, so post-minus-pre deltas of engine counters
-	// are exactly this query's doing.
+	// Counter baseline for the history profile. With Workers == 1 the
+	// engine is held exclusively, so post-minus-pre deltas of engine
+	// counters are exactly this query's doing; with Workers > 1 the
+	// deltas include neighbors' work and the profile's engine-counter
+	// section is approximate.
 	before := counterBaseline(s.eng.Registry())
 
 	start := time.Now()
@@ -724,23 +730,16 @@ func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleMetrics serves the Prometheus page. When the engine is idle it
-// is snapshotted in full (virtual-clock gauges synced); while a query
-// holds the engine, the page is rendered from the registry's atomic
-// instruments only — live counters, stale clock gauges — so scraping
-// never blocks on (or races with) execution.
+// handleMetrics serves the Prometheus page. The engine's instruments
+// are atomic and its clock gauges read the shared clock group, so the
+// full page renders concurrently with running queries — no engine
+// acquisition needed.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var text string
-	select {
-	case s.engine <- struct{}{}:
-		if s.met.shared {
-			text = s.eng.MetricsText()
-		} else {
-			text = s.met.reg.PrometheusText() + s.eng.MetricsText()
-		}
-		<-s.engine
-	default:
-		text = s.met.reg.PrometheusText()
+	if s.met.shared {
+		text = s.eng.MetricsText()
+	} else {
+		text = s.met.reg.PrometheusText() + s.eng.MetricsText()
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)

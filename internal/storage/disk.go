@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"progressdb/internal/obs"
 	"progressdb/internal/vclock"
@@ -151,11 +152,24 @@ type file struct {
 	lastWrit int32
 }
 
-// Disk simulates a disk drive. Every physical page access charges the
+// Disk simulates a disk drive. Every physical page access charges a
 // virtual clock: sequential accesses (page N+1 after page N of the same
 // file) at the sequential rate, others at the random rate.
+//
+// Disk is safe for concurrent use: a single mutex serializes the file
+// table and every physical access, modeling the drive as the serial
+// resource it is. Each access charges the clock passed in by the caller
+// (the per-worker query clock, or the disk's base clock via the bound
+// convenience APIs).
 type Disk struct {
-	clock *vclock.Clock
+	clock *vclock.Clock // base clock for the bound single-threaded API
+
+	// Page access charges the virtual clock while holding mu so the
+	// (seq-vs-rand, fault-injection, stats) decision and the charge are
+	// one atomic step; the clock's synchronous tickers look like
+	// callbacks under lock, but nothing inside waits or does real I/O.
+	//lint:lockcoarse simulated page I/O and its clock charge are one atomic step; tickers are synchronous compute
+	mu    sync.Mutex // guards files, next, stats, met, inj
 	files map[FileID]*file
 	next  FileID
 	stats DiskStats
@@ -173,22 +187,30 @@ type DiskMetrics struct {
 
 // SetMetrics installs observability instruments; pass the zero value to
 // disable.
-func (d *Disk) SetMetrics(m DiskMetrics) { d.met = m }
+func (d *Disk) SetMetrics(m DiskMetrics) {
+	d.mu.Lock()
+	d.met = m
+	d.mu.Unlock()
+}
 
 // SetFaultInjector installs (or, with nil, removes) the fault injector
 // consulted before every physical page access.
-func (d *Disk) SetFaultInjector(inj FaultInjector) { d.inj = inj }
+func (d *Disk) SetFaultInjector(inj FaultInjector) {
+	d.mu.Lock()
+	d.inj = inj
+	d.mu.Unlock()
+}
 
-// injectFault runs the installed injector for one access of class c,
-// charging any injected latency to the clock before returning the
-// injected error (nil when no fault fires).
-func (d *Disk) injectFault(op FaultOp, c FileClass) error {
+// injectFault runs the installed injector for one access of class fc,
+// charging any injected latency to clk before returning the injected
+// error (nil when no fault fires). Called with d.mu held.
+func (d *Disk) injectFault(clk *vclock.Clock, op FaultOp, fc FileClass) error {
 	if d.inj == nil {
 		return nil
 	}
-	lat, err := d.inj.BeforePageIO(op, c)
+	lat, err := d.inj.BeforePageIO(op, fc)
 	if lat > 0 {
-		d.clock.Idle(lat)
+		clk.Idle(lat)
 	}
 	return err
 }
@@ -198,11 +220,16 @@ func NewDisk(clock *vclock.Clock) *Disk {
 	return &Disk{clock: clock, files: make(map[FileID]*file)}
 }
 
-// Clock returns the clock this disk charges.
+// Clock returns the base clock the bound (single-threaded) API charges.
 func (d *Disk) Clock() *vclock.Clock { return d.clock }
 
 // Stats returns a copy of the physical I/O counters.
-func (d *Disk) Stats() DiskStats { return d.stats }
+func (d *Disk) Stats() DiskStats {
+	d.mu.Lock()
+	s := d.stats
+	d.mu.Unlock()
+	return s
+}
 
 // Create allocates a new empty ClassBase file.
 func (d *Disk) Create() FileID { return d.CreateClass(ClassBase) }
@@ -214,9 +241,11 @@ func (d *Disk) CreateTemp() FileID { return d.CreateClass(ClassTemp) }
 // never reused, so a stale reference to a removed file can only miss —
 // it can never alias a newer file.
 func (d *Disk) CreateClass(class FileClass) FileID {
+	d.mu.Lock()
 	id := d.next
 	d.next++
 	d.files[id] = &file{class: class, lastRead: -2, lastWrit: -2}
+	d.mu.Unlock()
 	return id
 }
 
@@ -226,6 +255,8 @@ func (d *Disk) CreateClass(class FileClass) FileID {
 // BufferPool.RemoveFile), or a later eviction will try to write back an
 // orphaned dirty page.
 func (d *Disk) Remove(id FileID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if _, ok := d.files[id]; !ok {
 		return fmt.Errorf("storage: remove of unknown file %d", id)
 	}
@@ -235,12 +266,16 @@ func (d *Disk) Remove(id FileID) error {
 
 // Exists reports whether the file is currently allocated.
 func (d *Disk) Exists(id FileID) bool {
+	d.mu.Lock()
 	_, ok := d.files[id]
+	d.mu.Unlock()
 	return ok
 }
 
 // ClassOf returns the file's class (ClassBase for unknown files).
 func (d *Disk) ClassOf(id FileID) FileClass {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if f, ok := d.files[id]; ok {
 		return f.class
 	}
@@ -251,10 +286,12 @@ func (d *Disk) ClassOf(id FileID) FileClass {
 // This is the leak-check API: after a query finishes — successfully or
 // not — OpenFiles(ClassTemp) must be empty.
 func (d *Disk) OpenFiles() []FileID {
+	d.mu.Lock()
 	ids := make([]FileID, 0, len(d.files))
 	for id := range d.files {
 		ids = append(ids, id)
 	}
+	d.mu.Unlock()
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
@@ -262,18 +299,22 @@ func (d *Disk) OpenFiles() []FileID {
 // OpenFilesOfClass returns the sorted ids of allocated files of one
 // class.
 func (d *Disk) OpenFilesOfClass(class FileClass) []FileID {
+	d.mu.Lock()
 	var ids []FileID
 	for id, f := range d.files {
 		if f.class == class {
 			ids = append(ids, id)
 		}
 	}
+	d.mu.Unlock()
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 
 // NumPages returns the number of pages in the file.
 func (d *Disk) NumPages(id FileID) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	f, ok := d.files[id]
 	if !ok {
 		return 0, fmt.Errorf("storage: unknown file %d", id)
@@ -281,8 +322,14 @@ func (d *Disk) NumPages(id FileID) (int, error) {
 	return len(f.pages), nil
 }
 
-// readPage performs a physical read, charging the clock.
-func (d *Disk) readPage(pid PageID) ([]byte, error) {
+// readPage performs a physical read, charging clk. The whole access —
+// fault injection, clock charge, sequential detection — happens under
+// d.mu, so concurrent accesses see a consistent head position. The
+// returned slice is the on-disk page; pages are replaced, never mutated
+// in place, so reading it after d.mu is released is safe.
+func (d *Disk) readPage(clk *vclock.Clock, pid PageID) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	f, ok := d.files[pid.File]
 	if !ok {
 		return nil, fmt.Errorf("storage: read from unknown file %d", pid.File)
@@ -290,15 +337,15 @@ func (d *Disk) readPage(pid PageID) ([]byte, error) {
 	if int(pid.Num) >= len(f.pages) || pid.Num < 0 {
 		return nil, fmt.Errorf("storage: read past EOF: page %v of %d", pid, len(f.pages))
 	}
-	if err := d.injectFault(OpRead, f.class); err != nil {
+	if err := d.injectFault(clk, OpRead, f.class); err != nil {
 		return nil, fmt.Errorf("storage: reading page %v: %w", pid, err)
 	}
 	if pid.Num == f.lastRead+1 {
-		d.clock.ChargeSeqIO(1)
+		clk.ChargeSeqIO(1)
 		d.stats.SeqReads++
 		d.met.SeqReads.Inc()
 	} else {
-		d.clock.ChargeRandIO(1)
+		clk.ChargeRandIO(1)
 		d.stats.RandReads++
 		d.met.RandReads.Inc()
 	}
@@ -306,9 +353,13 @@ func (d *Disk) readPage(pid PageID) ([]byte, error) {
 	return f.pages[pid.Num], nil
 }
 
-// writePage performs a physical write, charging the clock. Writing at
-// page == NumPages extends the file.
-func (d *Disk) writePage(pid PageID, data []byte) error {
+// writePage performs a physical write, charging clk. Writing at
+// page == NumPages extends the file. The page slice is stored as given
+// and must not be mutated by the caller afterward (the buffer pool's
+// copy-on-write discipline guarantees this).
+func (d *Disk) writePage(clk *vclock.Clock, pid PageID, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	f, ok := d.files[pid.File]
 	if !ok {
 		return fmt.Errorf("storage: write to unknown file %d", pid.File)
@@ -316,7 +367,7 @@ func (d *Disk) writePage(pid PageID, data []byte) error {
 	if len(data) != PageSize {
 		return fmt.Errorf("storage: write of %d bytes, want %d", len(data), PageSize)
 	}
-	if err := d.injectFault(OpWrite, f.class); err != nil {
+	if err := d.injectFault(clk, OpWrite, f.class); err != nil {
 		return fmt.Errorf("storage: writing page %v: %w", pid, err)
 	}
 	switch {
@@ -328,11 +379,11 @@ func (d *Disk) writePage(pid PageID, data []byte) error {
 		return fmt.Errorf("storage: write creates hole: page %v of %d", pid, len(f.pages))
 	}
 	if pid.Num == f.lastWrit+1 {
-		d.clock.ChargeSeqIO(1)
+		clk.ChargeSeqIO(1)
 		d.stats.SeqWrites++
 		d.met.SeqWrites.Inc()
 	} else {
-		d.clock.ChargeRandIO(1)
+		clk.ChargeRandIO(1)
 		d.stats.RandWrites++
 		d.met.RandWrites.Inc()
 	}

@@ -3,6 +3,8 @@ package storage
 import (
 	"encoding/binary"
 	"fmt"
+
+	"progressdb/internal/vclock"
 )
 
 // Heap-file page layout:
@@ -25,9 +27,18 @@ const MaxRecordSize = PageSize - pageHeaderSize - recordOverhead
 // HeapFile stores variable-length records in pages, accessed through the
 // buffer pool. It serves both base relations and the engine's temp files
 // (sort runs, hash-join partitions).
+//
+// A HeapFile is bound to a clock at creation: base files to the disk's
+// base clock (DDL and loads are single-threaded by contract), temp files
+// created with CreateTempHeapFileOn to the owning query's worker clock,
+// so every append, sync, and scan of per-query scratch data charges that
+// query. One HeapFile value must not be used from multiple goroutines;
+// concurrent queries reading one base table each wrap its id in their
+// own scanner via NewScannerOn.
 type HeapFile struct {
-	pool *BufferPool
-	id   FileID
+	pool  *BufferPool
+	id    FileID
+	clock *vclock.Clock
 
 	// Append state: the page being filled, not yet written.
 	cur      []byte
@@ -40,24 +51,33 @@ type HeapFile struct {
 // CreateHeapFile allocates a new empty ClassBase heap file on the
 // pool's disk (table heaps, the txn log — files that outlive queries).
 func CreateHeapFile(pool *BufferPool) *HeapFile {
-	return &HeapFile{pool: pool, id: pool.Disk().Create(), curPage: -1}
+	return &HeapFile{pool: pool, id: pool.Disk().Create(), clock: pool.Disk().Clock(), curPage: -1}
 }
 
 // CreateTempHeapFile allocates a new empty ClassTemp heap file (spill
-// partitions, sort runs). Temp files must be Dropped on every query
-// exit path; Disk.OpenFilesOfClass(ClassTemp) is the leak check.
+// partitions, sort runs) charging the disk's base clock. Temp files must
+// be Dropped on every query exit path; Disk.OpenFilesOfClass(ClassTemp)
+// is the leak check.
 func CreateTempHeapFile(pool *BufferPool) *HeapFile {
-	return &HeapFile{pool: pool, id: pool.Disk().CreateTemp(), curPage: -1}
+	return CreateTempHeapFileOn(pool, pool.Disk().Clock())
 }
 
-// OpenHeapFile reopens an existing file for scanning. Appending to a
-// reopened file is not supported.
+// CreateTempHeapFileOn allocates a new empty ClassTemp heap file bound
+// to the given worker clock: all I/O through the returned HeapFile —
+// appends, Sync, scans — charges that clock, so a query's spill traffic
+// lands on the query's own timeline.
+func CreateTempHeapFileOn(pool *BufferPool, clk *vclock.Clock) *HeapFile {
+	return &HeapFile{pool: pool, id: pool.Disk().CreateTemp(), clock: clk, curPage: -1}
+}
+
+// OpenHeapFile reopens an existing file for scanning, bound to the
+// disk's base clock. Appending to a reopened file is not supported.
 func OpenHeapFile(pool *BufferPool, id FileID) (*HeapFile, error) {
 	n, err := pool.Disk().NumPages(id)
 	if err != nil {
 		return nil, err
 	}
-	hf := &HeapFile{pool: pool, id: id, curPage: -1}
+	hf := &HeapFile{pool: pool, id: id, clock: pool.Disk().Clock(), curPage: -1}
 	// Recount records for Len; cheap because it reads headers via the pool.
 	for p := 0; p < n; p++ {
 		page, err := pool.Get(PageID{File: id, Num: int32(p)})
@@ -126,7 +146,7 @@ func (hf *HeapFile) flushCur() error {
 	}
 	binary.LittleEndian.PutUint16(hf.cur[0:2], hf.curCount)
 	binary.LittleEndian.PutUint16(hf.cur[2:4], hf.curUsed)
-	err := hf.pool.Put(PageID{File: hf.id, Num: hf.curPage}, hf.cur)
+	err := hf.pool.PutOn(hf.clock, PageID{File: hf.id, Num: hf.curPage}, hf.cur)
 	hf.cur = nil
 	return err
 }
@@ -143,9 +163,15 @@ func (hf *HeapFile) Drop() error {
 	return hf.pool.RemoveFile(hf.id)
 }
 
-// Fetch returns the record stored at rid (a copy).
+// Fetch returns the record stored at rid (a copy), charging the file's
+// bound clock.
 func (hf *HeapFile) Fetch(rid RID) ([]byte, error) {
-	page, err := hf.pool.Get(rid.Page)
+	return hf.FetchOn(hf.clock, rid)
+}
+
+// FetchOn is Fetch charging the given worker clock.
+func (hf *HeapFile) FetchOn(clk *vclock.Clock, rid RID) ([]byte, error) {
+	page, err := hf.pool.GetOn(clk, rid.Page)
 	if err != nil {
 		return nil, err
 	}
@@ -169,7 +195,7 @@ func (hf *HeapFile) Fetch(rid RID) ([]byte, error) {
 // have exactly the original's length (fixed-width updates, e.g. numeric
 // fields, satisfy this; the transaction layer enforces it).
 func (hf *HeapFile) UpdateAt(rid RID, rec []byte) error {
-	page, err := hf.pool.Get(rid.Page)
+	page, err := hf.pool.GetOn(hf.clock, rid.Page)
 	if err != nil {
 		return err
 	}
@@ -187,15 +213,21 @@ func (hf *HeapFile) UpdateAt(rid RID, rec []byte) error {
 				return fmt.Errorf("storage: update changes record length (%d -> %d)", l, len(rec))
 			}
 			copy(buf[off+recordOverhead:], rec)
-			return hf.pool.Put(rid.Page, buf)
+			return hf.pool.PutOn(hf.clock, rid.Page, buf)
 		}
 		off += recordOverhead + l
 	}
 }
 
 // Scanner iterates over all records of a heap file in storage order.
+// Pinning scanners (NewScannerOn) hold a pin on their current page so it
+// cannot be evicted mid-page; Close releases the pin and is safe to call
+// more than once.
 type Scanner struct {
 	hf      *HeapFile
+	clk     *vclock.Clock
+	pin     bool
+	hasPin  bool
 	npages  int
 	pageNum int32
 	page    []byte
@@ -205,12 +237,22 @@ type Scanner struct {
 	err     error
 }
 
-// NewScanner returns a scanner positioned before the first record. The
-// file must be Synced.
+// NewScanner returns a scanner positioned before the first record,
+// charging the file's bound clock, without page pinning (single-threaded
+// DDL/load/stats paths and per-query temp files). The file must be
+// Synced.
 func (hf *HeapFile) NewScanner() *Scanner {
 	n, err := hf.pool.Disk().NumPages(hf.id)
-	s := &Scanner{hf: hf, npages: n, pageNum: -1, err: err}
-	return s
+	return &Scanner{hf: hf, clk: hf.clock, npages: n, pageNum: -1, err: err}
+}
+
+// NewScannerOn returns a scanner charging the given worker clock and
+// pinning its current page in the buffer pool. Callers must Close it on
+// every exit path; the executor tracks these in exec.Env so the unwind
+// releases pins even on panic.
+func (hf *HeapFile) NewScannerOn(clk *vclock.Clock) *Scanner {
+	n, err := hf.pool.Disk().NumPages(hf.id)
+	return &Scanner{hf: hf, clk: clk, pin: true, npages: n, pageNum: -1, err: err}
 }
 
 // Next returns the next record and its RID, or ok=false at end of file or
@@ -220,11 +262,20 @@ func (s *Scanner) Next() (rec []byte, rid RID, ok bool) {
 		return nil, RID{}, false
 	}
 	for s.page == nil || s.slot >= s.count {
+		s.releasePin()
 		s.pageNum++
 		if int(s.pageNum) >= s.npages {
 			return nil, RID{}, false
 		}
-		page, err := s.hf.pool.Get(PageID{File: s.hf.id, Num: s.pageNum})
+		pid := PageID{File: s.hf.id, Num: s.pageNum}
+		var page []byte
+		var err error
+		if s.pin {
+			page, err = s.hf.pool.getPinned(s.clk, pid)
+			s.hasPin = err == nil
+		} else {
+			page, err = s.hf.pool.GetOn(s.clk, pid)
+		}
 		if err != nil {
 			s.err = err
 			return nil, RID{}, false
@@ -240,6 +291,25 @@ func (s *Scanner) Next() (rec []byte, rid RID, ok bool) {
 	s.off += recordOverhead + l
 	s.slot++
 	return rec, rid, true
+}
+
+// releasePin drops the pin on the current page, if any.
+func (s *Scanner) releasePin() {
+	if s.hasPin {
+		s.hf.pool.unpin(PageID{File: s.hf.id, Num: s.pageNum})
+		s.hasPin = false
+	}
+}
+
+// Close releases the scanner's page pin and exhausts the scanner (a
+// later Next reports end of file). Idempotent; required for pinning
+// scanners, a no-op otherwise.
+func (s *Scanner) Close() {
+	s.releasePin()
+	s.page = nil
+	s.count = 0
+	s.slot = 0
+	s.pageNum = int32(s.npages)
 }
 
 // Err returns the first error encountered while scanning.

@@ -24,7 +24,7 @@ func TestDiskReadWriteSequentialCosts(t *testing.T) {
 
 	// Appending pages 0,1,2: page 0 is "random" (no predecessor), 1 and 2 sequential.
 	for i := int32(0); i < 3; i++ {
-		if err := d.writePage(PageID{File: f, Num: i}, page); err != nil {
+		if err := d.writePage(d.Clock(), PageID{File: f, Num: i}, page); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -39,11 +39,11 @@ func TestDiskReadWriteSequentialCosts(t *testing.T) {
 	// Sequential read of 0,1,2 then re-read of 0 (random).
 	before := clock.Now()
 	for i := int32(0); i < 3; i++ {
-		if _, err := d.readPage(PageID{File: f, Num: i}); err != nil {
+		if _, err := d.readPage(d.Clock(), PageID{File: f, Num: i}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := d.readPage(PageID{File: f, Num: 0}); err != nil {
+	if _, err := d.readPage(d.Clock(), PageID{File: f, Num: 0}); err != nil {
 		t.Fatal(err)
 	}
 	// read 0: rand(10); 1,2: seq(2); reread 0: rand(10)
@@ -56,16 +56,16 @@ func TestDiskErrors(t *testing.T) {
 	_, clock := testPool(4)
 	d := NewDisk(clock)
 	f := d.Create()
-	if _, err := d.readPage(PageID{File: f, Num: 0}); err == nil {
+	if _, err := d.readPage(d.Clock(), PageID{File: f, Num: 0}); err == nil {
 		t.Fatal("read past EOF must fail")
 	}
-	if err := d.writePage(PageID{File: f, Num: 5}, make([]byte, PageSize)); err == nil {
+	if err := d.writePage(d.Clock(), PageID{File: f, Num: 5}, make([]byte, PageSize)); err == nil {
 		t.Fatal("write creating a hole must fail")
 	}
-	if err := d.writePage(PageID{File: f, Num: 0}, make([]byte, 10)); err == nil {
+	if err := d.writePage(d.Clock(), PageID{File: f, Num: 0}, make([]byte, 10)); err == nil {
 		t.Fatal("short write must fail")
 	}
-	if _, err := d.readPage(PageID{File: 99, Num: 0}); err == nil {
+	if _, err := d.readPage(d.Clock(), PageID{File: 99, Num: 0}); err == nil {
 		t.Fatal("read of unknown file must fail")
 	}
 	if err := d.Remove(f); err != nil {
@@ -381,11 +381,11 @@ func TestAccessorsAndCounters(t *testing.T) {
 	f := d.Create()
 	page := make([]byte, PageSize)
 	for i := int32(0); i < 3; i++ {
-		if err := d.writePage(PageID{File: f, Num: i}, page); err != nil {
+		if err := d.writePage(d.Clock(), PageID{File: f, Num: i}, page); err != nil {
 			t.Fatal(err)
 		}
 	}
-	d.readPage(PageID{File: f, Num: 0})
+	d.readPage(d.Clock(), PageID{File: f, Num: 0})
 	st := d.Stats()
 	if st.Writes() != 3 || st.Reads() != 1 {
 		t.Fatalf("stats: %+v", st)

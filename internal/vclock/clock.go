@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // WorkKind classifies chargeable work so load profiles can slow I/O and CPU
@@ -162,6 +163,15 @@ type Clock struct {
 
 	// Work accounting, by kind, in units (pages or tuples).
 	units [3]float64
+
+	// group, when non-nil, is the shared time authority this clock
+	// publishes into on Sync; synced tracks the units already published
+	// so Sync only pushes the delta. syncMu serializes concurrent Sync
+	// calls (DB.Now and query starts may sync the engine's base clock
+	// from several goroutines; charging stays single-owner by contract).
+	group  *Group
+	syncMu sync.Mutex // guards synced
+	synced [3]float64
 }
 
 // New returns a clock at virtual time zero with the given base costs and
@@ -225,6 +235,26 @@ func (c *Clock) ChargeRandIO(pages int) { c.Charge(RandIO, float64(pages)) }
 
 // ChargeCPU charges n tuple-units of CPU work.
 func (c *Clock) ChargeCPU(n float64) { c.Charge(CPU, n) }
+
+// Sync publishes this clock's progress into its Group: the group time
+// max-merges with the clock's now, and unit totals accumulate the delta
+// since the previous Sync. A no-op for clocks without a group. Sync is
+// called from the owning worker only; the group side is concurrency-
+// safe.
+func (c *Clock) Sync() {
+	if c.group == nil {
+		return
+	}
+	c.syncMu.Lock()
+	c.group.merge(c.now)
+	for k := range c.units {
+		if d := c.units[k] - c.synced[k]; d > 0 {
+			c.group.addUnits(WorkKind(k), d)
+			c.synced[k] = c.units[k]
+		}
+	}
+	c.syncMu.Unlock()
+}
 
 // Idle advances the clock by d virtual seconds without charging work (used
 // to model think time between queries).

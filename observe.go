@@ -84,10 +84,12 @@ func (db *DB) syncGauges() {
 	if db.reg == nil {
 		return
 	}
-	db.reg.Gauge("vclock_seconds", "current virtual time").Set(db.clock.Now())
+	// Read the clock group, not a worker clock: gauges may be scraped
+	// while queries run, and the group side is concurrency-safe.
+	db.reg.Gauge("vclock_seconds", "current virtual time").Set(db.group.Now())
 	for _, k := range []vclock.WorkKind{vclock.SeqIO, vclock.RandIO, vclock.CPU} {
 		db.reg.LabeledGauge("vclock_units", "kind", k.String(), "work units charged, by kind").
-			Set(db.clock.UnitsOf(k))
+			Set(db.group.UnitsOf(k))
 	}
 	db.reg.Gauge("storage_temp_files_open", "live temp/spill files on the simulated disk").
 		Set(float64(len(db.cat.Pool().Disk().OpenFilesOfClass(storage.ClassTemp))))
@@ -116,17 +118,26 @@ type runOut struct {
 // query, and on any failure the query's tracked temp files are
 // reclaimed so the engine stays leak-free and reusable.
 func (db *DB) run(ctx context.Context, p plan.Node, name string, onProgress func(Report), keepRows, collect bool) (out *runOut, err error) {
+	// Each query executes on its own worker clock drawn from the engine's
+	// clock group: charges advance it independently of concurrent
+	// queries, and it max-merges into the group at segment boundaries,
+	// report snapshots, and query end. Publish the base clock first so
+	// the worker starts no earlier than any completed setup work.
+	db.clock.Sync()
+	clk := db.group.Worker()
 	var env *exec.Env
 	defer func() {
 		if r := recover(); r != nil {
 			out, err = nil, exec.NewInternalError(r, debug.Stack())
 		}
 		if err != nil && env != nil {
+			env.ReleaseScans()
 			env.ReclaimTemps()
 		}
+		clk.Sync()
 	}()
 	d := segment.Decompose(p, db.cfg.WorkMemPages)
-	ind := core.New(db.clock, d, core.Options{
+	ind := core.New(clk, d, core.Options{
 		UpdatePeriod:    db.cfg.ProgressUpdateSeconds,
 		SpeedWindow:     db.cfg.SpeedWindowSeconds,
 		DecayAlpha:      db.cfg.SpeedDecayAlpha,
@@ -142,7 +153,7 @@ func (db *DB) run(ctx context.Context, p plan.Node, name string, onProgress func
 
 	var coll *exec.Collector
 	if collect {
-		coll = exec.NewCollector(db.clock)
+		coll = exec.NewCollector(clk)
 	}
 	res := &Result{}
 	for _, c := range p.Schema().Cols {
@@ -150,7 +161,7 @@ func (db *DB) run(ctx context.Context, p plan.Node, name string, onProgress func
 	}
 	env = &exec.Env{
 		Pool:         db.cat.Pool(),
-		Clock:        db.clock,
+		Clock:        clk,
 		WorkMemPages: db.cfg.WorkMemPages,
 		Reporter:     ind,
 		Decomp:       d,
@@ -160,7 +171,7 @@ func (db *DB) run(ctx context.Context, p plan.Node, name string, onProgress func
 	if ctx != nil && ctx.Done() != nil {
 		env.Ctx = ctx
 	}
-	start := db.clock.Now()
+	start := clk.Now()
 	var sink func(tuple.Tuple) error
 	if keepRows {
 		sink = func(t tuple.Tuple) error {
@@ -172,7 +183,7 @@ func (db *DB) run(ctx context.Context, p plan.Node, name string, onProgress func
 		return nil, err
 	}
 	db.queries.Inc()
-	res.VirtualSeconds = db.clock.Now() - start
+	res.VirtualSeconds = clk.Now() - start
 	for _, s := range ind.Snapshots() {
 		res.History = append(res.History, toReport(s))
 	}
@@ -190,7 +201,7 @@ func (db *DB) run(ctx context.Context, p plan.Node, name string, onProgress func
 		})
 	}
 	if coll != nil {
-		res.Trace = buildTrace(name, p, d, ind.SegmentReports(), coll, start, db.clock.Now())
+		res.Trace = buildTrace(name, p, d, ind.SegmentReports(), coll, start, clk.Now())
 	}
 	return &runOut{res: res, dec: d, ind: ind, coll: coll}, nil
 }

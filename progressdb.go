@@ -113,10 +113,21 @@ type Config struct {
 }
 
 // DB is one engine instance: simulated storage, a catalog, and a virtual
-// clock. It is not safe for concurrent use.
+// clock.
+//
+// Concurrency contract: the query paths — Exec, ExecContext, ExecDiscard,
+// ExecDiscardContext, EstimateCostU, Explain, CheckLeaks, Now, and the
+// metrics accessors — are safe to call from multiple goroutines; each
+// query runs on its own worker clock and the storage layers are latched.
+// Setup and maintenance — CreateTable, Insert, Analyze, CreateIndex,
+// DropTable, LoadPaperWorkload*, SetInterference, SetFaultSpec,
+// ColdRestart, ExecGroup, and the txn API — are single-threaded and must
+// not overlap each other or running queries, matching the paper's
+// load-then-query methodology.
 type DB struct {
 	cfg   Config
-	clock *vclock.Clock
+	group *vclock.Group
+	clock *vclock.Clock // base worker clock: DDL, loads, single-threaded paths
 	cat   *catalog.Catalog
 	inj   *faultinject.Injector
 
@@ -149,10 +160,11 @@ func Open(cfg Config) *DB {
 	if cfg.CPUTupleCost > 0 {
 		costs.CPUTuple = cfg.CPUTupleCost
 	}
-	clock := vclock.New(costs, nil)
+	group := vclock.NewGroup(costs)
+	clock := group.Worker()
 	disk := storage.NewDisk(clock)
 	pool := storage.NewBufferPool(disk, cfg.BufferPoolPages)
-	db := &DB{cfg: cfg, clock: clock, cat: catalog.New(pool)}
+	db := &DB{cfg: cfg, group: group, clock: clock, cat: catalog.New(pool)}
 	db.events = obs.NewEventWriter(cfg.TraceSink)
 	if cfg.Metrics {
 		db.wireMetrics(pool, disk)
@@ -166,8 +178,12 @@ func Open(cfg Config) *DB {
 	return db
 }
 
-// Now returns the current virtual time in seconds.
-func (db *DB) Now() float64 { return db.clock.Now() }
+// Now returns the current virtual time in seconds: the max-merge of all
+// worker clocks, monotone even while queries run concurrently.
+func (db *DB) Now() float64 {
+	db.clock.Sync()
+	return db.group.Now()
+}
 
 // SetInterference installs load intervals on the virtual clock: between
 // start and end (virtual seconds), I/O or CPU work is slowed by factor.
@@ -187,12 +203,16 @@ func (db *DB) SetInterference(kind string, start, end, factor float64) error {
 	if err != nil {
 		return err
 	}
+	db.group.SetProfile(p)
 	db.clock.SetProfile(p)
 	return nil
 }
 
 // ClearInterference removes any load profile.
-func (db *DB) ClearInterference() { db.clock.SetProfile(nil) }
+func (db *DB) ClearInterference() {
+	db.group.SetProfile(nil)
+	db.clock.SetProfile(nil)
+}
 
 // CreateTable creates an empty table.
 func (db *DB) CreateTable(name string, cols ...Column) error {
@@ -290,7 +310,11 @@ func (db *DB) Analyze() error {
 			return err
 		}
 	}
-	return db.cat.AnalyzeAll()
+	err := db.cat.AnalyzeAll()
+	// Publish the load/analyze I/O into the clock group so the first
+	// query's worker clock starts after it.
+	db.clock.Sync()
+	return err
 }
 
 // ColdRestart empties the buffer pool (the paper restarts the machine
@@ -300,6 +324,7 @@ func (db *DB) ColdRestart() error {
 		return err
 	}
 	db.cat.Pool().Clear()
+	db.clock.Sync()
 	return nil
 }
 
@@ -360,7 +385,10 @@ func (db *DB) EstimateCostU(sql string) (float64, error) {
 // retries, the fleet coordinator's subquery retries) is charged through
 // this so backoff time exists on the clock and fault schedules replay
 // identically across runs.
-func (db *DB) Idle(d float64) { db.clock.Idle(d) }
+func (db *DB) Idle(d float64) {
+	db.clock.Idle(d)
+	db.clock.Sync()
+}
 
 // Explain compiles sql and returns the physical plan and its segment
 // decomposition (segments, inputs, dominant inputs, initial costs).
